@@ -1,0 +1,45 @@
+// Command bounds prints the query classification (Figure 1) and the
+// fractional numbers ρ*, τ*, ψ* (Table 1 / Figure 3) for the paper's
+// catalog of queries, or for a query given on the command line:
+//
+//	bounds                                    # the whole catalog
+//	bounds "R1(A,B) R2(B,C) R3(C,A)"          # one ad-hoc query
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"coverpack"
+)
+
+func main() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "QUERY\tCLASS\tρ*\tτ*\tψ*\t1-ROUND\tMULTI-ROUND\tLOWER BOUND")
+	if len(os.Args) > 1 {
+		q, err := coverpack.ParseQuery("cli", os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		printRow(w, q)
+	} else {
+		for _, e := range coverpack.Catalog() {
+			printRow(w, e.Query)
+		}
+	}
+	w.Flush()
+}
+
+func printRow(w *tabwriter.Writer, q *coverpack.Query) {
+	a, err := coverpack.Analyze(q)
+	if err != nil {
+		fmt.Fprintf(w, "%s\tERROR: %v\n", q.Name(), err)
+		return
+	}
+	fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\tN/p^%.3f\tN/p^%.3f\tN/p^%.3f\n",
+		q.Name(), a.Class(),
+		a.Rho.RatString(), a.Tau.RatString(), a.Psi.RatString(),
+		a.OneRoundExponent, a.MultiRoundExponent, a.LowerBoundExponent)
+}

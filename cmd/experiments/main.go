@@ -1,0 +1,91 @@
+// Command experiments regenerates the paper's tables and figures as
+// measured experiments on the MPC simulator:
+//
+//	experiments all            # everything
+//	experiments table1         # worst-case complexity table
+//	experiments figure4        # Example 3.4: conservative vs optimal run
+//	experiments figure7 -small # quick sizes
+//
+// Subcommands: table1, figure1..figure7, section13, em, ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"coverpack/internal/experiments"
+)
+
+func main() {
+	small := flag.Bool("small", false, "use small experiment sizes")
+	flag.Parse()
+	sub := "all"
+	if flag.NArg() > 0 {
+		sub = strings.ToLower(flag.Arg(0))
+	}
+	cfg := experiments.Config{Small: *small}
+
+	var tables []experiments.Table
+	var err error
+	switch sub {
+	case "all":
+		tables, err = experiments.All(cfg)
+	case "table1":
+		tables, err = experiments.Table1(cfg)
+	case "figure1":
+		tables, err = one(experiments.Figure1())
+	case "figure2":
+		tables, err = one(experiments.Figure2())
+	case "figure3":
+		tables, err = one(experiments.Figure3())
+	case "figure4":
+		tables, err = one(experiments.Figure4(cfg))
+	case "figure5":
+		tables, err = one(experiments.Figure5())
+	case "figure6":
+		tables, err = one(experiments.Figure6(cfg))
+	case "figure7":
+		tables, err = one(experiments.Figure7(cfg))
+	case "section13":
+		tables, err = one(experiments.Section13(cfg))
+	case "em":
+		tables, err = one(experiments.EMCorollary(cfg))
+	case "ablation":
+		var t1, t2 experiments.Table
+		t1, err = experiments.AblationSkew(cfg)
+		if err == nil {
+			t2, err = experiments.AblationThreshold(cfg)
+			tables = []experiments.Table{t1, t2}
+		}
+	default:
+		err = fmt.Errorf("unknown experiment %q", sub)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		printTable(t)
+	}
+}
+
+func one(t experiments.Table, err error) ([]experiments.Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []experiments.Table{t}, nil
+}
+
+func printTable(t experiments.Table) {
+	fmt.Printf("== %s ==\n", t.Title)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(t.Header, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	w.Flush()
+	fmt.Println()
+}

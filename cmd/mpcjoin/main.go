@@ -1,0 +1,128 @@
+// Command mpcjoin runs one MPC join algorithm on a generated instance
+// and prints the measured cost:
+//
+//	mpcjoin -query "R1(A,B) R2(B,C) R3(C,D)" -alg acyclic-optimal -p 16 -n 10000
+//	mpcjoin -catalog square -alg hypercube -p 64 -n 1000 -workload hard
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"coverpack"
+)
+
+func main() {
+	var (
+		queryStr = flag.String("query", "", "query in R(A,B) S(B,C) notation")
+		catalog  = flag.String("catalog", "", "catalog query name (e.g. square, line3, figure4)")
+		algName  = flag.String("alg", "acyclic-optimal", "algorithm: acyclic-optimal | acyclic-conservative | hypercube | hypercube-skew-aware | yannakakis | triangle-multiround | lw-multiround")
+		p        = flag.Int("p", 16, "number of servers")
+		n        = flag.Int("n", 10000, "tuples per relation")
+		dom      = flag.Int64("dom", 0, "attribute domain size (default 5·n)")
+		kind     = flag.String("workload", "uniform", "workload: uniform | zipf | matching | agm | hard | heavyhub")
+		skew     = flag.Float64("skew", 1.1, "zipf skew parameter")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		trace    = flag.Bool("trace", false, "print the acyclic algorithm's decision log")
+	)
+	flag.Parse()
+
+	q, err := pickQuery(*queryStr, *catalog)
+	if err != nil {
+		fatal(err)
+	}
+	if *dom == 0 {
+		*dom = int64(*n) * 5
+	}
+
+	var in *coverpack.Instance
+	switch *kind {
+	case "uniform":
+		in = coverpack.Uniform(q, *n, *dom, *seed)
+	case "zipf":
+		in = coverpack.Zipf(q, *n, *dom, *skew, *seed)
+	case "matching":
+		in = coverpack.Matching(q, *n)
+	case "heavyhub":
+		in = coverpack.HeavyHub(q, *n)
+	case "agm":
+		in, err = coverpack.AGMWorstCase(q, *n)
+		if err != nil {
+			fatal(err)
+		}
+	case "hard":
+		in, err = coverpack.PackingHard(q, *n, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *kind))
+	}
+
+	alg, err := pickAlg(*algName)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := coverpack.Execute(alg, in, *p)
+	if err != nil {
+		fatal(err)
+	}
+	if *trace {
+		lines, terr := coverpack.TraceRun(alg, in, *p)
+		if terr != nil {
+			fatal(terr)
+		}
+		for _, l := range lines {
+			fmt.Println("trace:", l)
+		}
+	}
+	fmt.Printf("query       %s\n", q)
+	fmt.Printf("workload    %s  N=%d  total=%d\n", *kind, in.N(), in.TotalTuples())
+	fmt.Printf("algorithm   %s  p=%d", rep.Algorithm, *p)
+	if rep.L > 0 {
+		fmt.Printf("  L=%d", rep.L)
+	}
+	fmt.Println()
+	fmt.Printf("emitted     %d join results\n", rep.Emitted)
+	fmt.Printf("cost        %s\n", rep.Stats)
+}
+
+func pickQuery(queryStr, catalog string) (*coverpack.Query, error) {
+	switch {
+	case queryStr != "":
+		return coverpack.ParseQuery("cli", queryStr)
+	case catalog != "":
+		for _, e := range coverpack.Catalog() {
+			if strings.EqualFold(e.Query.Name(), catalog) {
+				return e.Query, nil
+			}
+		}
+		var names []string
+		for _, e := range coverpack.Catalog() {
+			names = append(names, e.Query.Name())
+		}
+		return nil, fmt.Errorf("unknown catalog query %q; available: %s", catalog, strings.Join(names, ", "))
+	default:
+		return nil, fmt.Errorf("pass -query or -catalog")
+	}
+}
+
+func pickAlg(name string) (coverpack.Algorithm, error) {
+	for _, a := range []coverpack.Algorithm{
+		coverpack.AlgAcyclicOptimal, coverpack.AlgAcyclicConservative,
+		coverpack.AlgHyperCube, coverpack.AlgSkewAware, coverpack.AlgYannakakis,
+		coverpack.AlgTriangle, coverpack.AlgLoomisWhitney,
+	} {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpcjoin:", err)
+	os.Exit(1)
+}

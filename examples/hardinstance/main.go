@@ -1,0 +1,50 @@
+// Hardinstance: the Theorem 6 lower bound for the ⊠-join Q_□, made
+// measurable.
+//
+// The paper's surprise: for Q_□ the AGM-based floor N/p^{1/ρ*} = N/√p
+// is NOT tight — the true floor is N/p^{1/τ*} = N/p^{1/3}, governed by
+// the fractional edge *packing* number. This example builds the
+// probabilistic hard instance, measures J(L) (the most results one
+// server can emit from L loaded tuples, over Cartesian-restricted
+// strategies per Lemma 5.1), and inverts the counting argument
+// p·J(L) ≥ OUT.
+//
+//	go run ./examples/hardinstance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coverpack"
+)
+
+func main() {
+	q := coverpack.MustParseQuery("square",
+		"R1(A,B,C) R2(D,E,F) R3(A,D) R4(B,E) R5(C,F)")
+	an, err := coverpack.Analyze(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q_□ = %s\n", q)
+	fmt.Printf("ρ* = %s (cover {R1,R2}),  τ* = %s (packing {R3,R4,R5})\n",
+		an.Rho.RatString(), an.Tau.RatString())
+	fmt.Printf("edge-packing-provable: %v\n\n", an.EdgePackingProvable)
+
+	const n = 1728 // 12³: A,B,C get 12 values, D,E,F get 144
+	fmt.Printf("hard instance: N = %d; A,B,C ~ N^(1/3), D,E,F ~ N^(2/3);\n", n)
+	fmt.Printf("R1,R3,R4,R5 Cartesian, R2 sampled at rate 1/N (output ~ N²)\n\n")
+
+	fmt.Println("counting argument  p · J(L) ≥ OUT  inverted per p:")
+	fmt.Printf("%6s  %14s  %22s  %20s\n", "p", "min load L", "packing floor N/p^(1/3)", "cover floor N/p^(1/2)")
+	for _, p := range []int{8, 27, 64, 216, 512} {
+		rep, err := coverpack.LowerBound(q, n, p, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d  %14d  %22.0f  %20.0f\n",
+			p, rep.MinLoad, rep.PackingBound, rep.CoverBound)
+	}
+	fmt.Println("\nThe measured minimum load tracks the packing floor — the cover-based")
+	fmt.Println("target O(N/p^(1/ρ*)) is unachievable for this cyclic join (Theorem 6).")
+}

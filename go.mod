@@ -1,0 +1,3 @@
+module coverpack
+
+go 1.22

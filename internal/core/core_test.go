@@ -1,0 +1,341 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"coverpack/internal/hypergraph"
+	"coverpack/internal/mpc"
+	"coverpack/internal/relation"
+	"coverpack/internal/workload"
+)
+
+func TestIntegralCover(t *testing.T) {
+	for _, tc := range []struct {
+		q   *hypergraph.Query
+		rho int
+	}{
+		{hypergraph.PathJoin(3), 2},
+		{hypergraph.PathJoin(4), 3},
+		{hypergraph.PathJoin(5), 3},
+		{hypergraph.StarJoin(3), 3},
+		{hypergraph.StarDualJoin(3), 1},
+		{hypergraph.Figure4Join(), 6},
+		{hypergraph.SemiJoinExample(), 1},
+		// Tree-2: the four leaf relations are forced by their unique
+		// attributes and still miss V1, so ρ* = 5.
+		{hypergraph.TreeJoin(2), 5},
+	} {
+		cover, err := IntegralCover(tc.q)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.q.Name(), err)
+		}
+		if cover.Len() != tc.rho {
+			t.Errorf("%s: |cover| = %d, want ρ* = %d (%s)",
+				tc.q.Name(), cover.Len(), tc.rho, tc.q.FormatEdges(cover))
+		}
+		// It must actually cover every attribute.
+		var covered hypergraph.VarSet
+		for _, e := range cover.Edges() {
+			covered = covered.Union(tc.q.EdgeVars(e))
+		}
+		if !tc.q.AllVars().SubsetOf(covered) {
+			t.Errorf("%s: cover misses attributes", tc.q.Name())
+		}
+	}
+	if _, err := IntegralCover(hypergraph.TriangleJoin()); err == nil {
+		t.Fatal("cyclic query must be rejected")
+	}
+}
+
+func TestSubjoinSizeExample32(t *testing.T) {
+	// Example 3.2 on the Figure 4 query with the Example 3.4 hard
+	// instance: S1 = {e1,e3,e7} splits into three singleton components
+	// (sub-join N·N·N); S2 = S1 ∪ {e0} has components {e0,e1,e3} and
+	// {e7} — sub-join |e0⋈e1⋈e3| · |e7|.
+	n := 4
+	in := workload.Figure4Hard(n)
+	q := in.Query
+	e := func(name string) int { return q.EdgeIndex(name) }
+	// The paper's Figure 4 tree: e0 root with children e1..e4, e5 under
+	// e4, e6 and e7 under e5 (sub-join sizes are tree-dependent, so the
+	// test pins the figure's tree rather than whatever GYO builds).
+	parent := make([]int, q.NumEdges())
+	parent[e("e0")] = -1
+	for _, name := range []string{"e1", "e2", "e3", "e4"} {
+		parent[e(name)] = e("e0")
+	}
+	parent[e("e5")] = e("e4")
+	parent[e("e6")] = e("e5")
+	parent[e("e7")] = e("e5")
+	tree, err := hypergraph.NewJoinTree(q, parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s1 := hypergraph.NewEdgeSet(e("e1"), e("e3"), e("e7"))
+	if got, want := SubjoinSize(in, tree, s1), int64(n*n*n); got != want {
+		t.Errorf("S1 sub-join = %d, want %d", got, want)
+	}
+	s2 := hypergraph.NewEdgeSet(e("e0"), e("e1"), e("e3"), e("e7"))
+	// e0⋈e1⋈e3: A,B,C singletons; H free (n), D free (n), F free (n).
+	if got, want := SubjoinSize(in, tree, s2), int64(n*n*n)*int64(n); got != want {
+		t.Errorf("S2 sub-join = %d, want %d", got, want)
+	}
+	// The S = {e0,e1,e2,e3,e5,e6,e7} sub-join of Example 3.4 is N^7.
+	s7 := hypergraph.NewEdgeSet(e("e0"), e("e1"), e("e2"), e("e3"), e("e5"), e("e6"), e("e7"))
+	if got, want := SubjoinSize(in, tree, s7), int64(math.Pow(float64(n), 7)); got != want {
+		t.Errorf("S7 sub-join = %d, want %d", got, want)
+	}
+	if got := SubjoinSize(in, tree, hypergraph.EdgeSet{}); got != 1 {
+		t.Errorf("empty sub-join = %d, want 1", got)
+	}
+}
+
+func TestChooseL(t *testing.T) {
+	q := hypergraph.PathJoin(3)
+	in := workload.Matching(q, 1000)
+	// Matching instance: the conservative formula also pays the
+	// Cartesian sub-joins of tree-disconnected subsets — {R1,R3} has
+	// sub-join N² giving L = ⌈(10^6/10)^{1/2}⌉ = 317, strictly above
+	// the optimal-run value. This is exactly the slack Example 3.4
+	// exposes in the Theorem 2 run.
+	if got := ChooseL(in, 10, Conservative); got != 317 {
+		t.Errorf("conservative L = %d, want 317", got)
+	}
+	// Path-optimal: cover {R1,R3}: L = (N^2/p)^(1/2) = 1000/sqrt(10).
+	want := int(math.Ceil(1000 / math.Sqrt(10)))
+	if got := ChooseL(in, 10, PathOptimal); got != want {
+		t.Errorf("path-optimal L = %d, want %d", got, want)
+	}
+	// AGM worst case: both strategies should agree at N/p^{1/2}.
+	hard, err := workload.AGMWorstCase(q, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := ChooseL(hard, 9, Conservative)
+	lo := ChooseL(hard, 9, PathOptimal)
+	if lc != lo {
+		t.Logf("conservative L=%d vs optimal L=%d (may differ on worst case)", lc, lo)
+	}
+	if lo != 300 { // 900/9^(1/2)
+		t.Errorf("optimal L = %d, want 300", lo)
+	}
+}
+
+// runBoth executes both strategies and checks exact emission against the
+// oracle.
+func runBoth(t *testing.T, in *relation.Instance, p int) (consStats, optStats mpc.Stats) {
+	t.Helper()
+	want := in.JoinSize()
+	for _, strat := range []Strategy{Conservative, PathOptimal} {
+		c := mpc.NewCluster(p)
+		res, err := Run(c.Root(), in, Options{Strategy: strat})
+		if err != nil {
+			t.Fatalf("%s/%s: %v", in.Query.Name(), strat, err)
+		}
+		if res.Emitted != want {
+			t.Errorf("%s/%s: emitted %d, want %d", in.Query.Name(), strat, res.Emitted, want)
+		}
+		if strat == Conservative {
+			consStats = c.Stats()
+		} else {
+			optStats = c.Stats()
+		}
+	}
+	return
+}
+
+func TestRunSmallQueriesExact(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		in   *relation.Instance
+		p    int
+	}{
+		{"path3-uniform", workload.Uniform(hypergraph.PathJoin(3), 120, 15, 3), 8},
+		{"path5-uniform", workload.Uniform(hypergraph.PathJoin(5), 80, 10, 4), 8},
+		{"star3-uniform", workload.Uniform(hypergraph.StarJoin(3), 60, 8, 5), 8},
+		{"semijoin-uniform", workload.Uniform(hypergraph.SemiJoinExample(), 50, 60, 6), 4},
+		{"stardual-hard", workload.StarDualHard(3, 40, 7), 4},
+		{"path3-matching", workload.Matching(hypergraph.PathJoin(3), 100), 8},
+		{"path4-heavyhub", workload.HeavyHub(hypergraph.PathJoin(4), 60), 8},
+		{"figure4-hard", workload.Figure4Hard(3), 8},
+		{"line3-agm", mustAGM(t, hypergraph.PathJoin(3), 64), 8},
+		{"disconnected", workload.Uniform(hypergraph.MustParse("disc", "R1(A,B) R2(C,D)"), 30, 10, 8), 4},
+		{"tree2-uniform", workload.Uniform(hypergraph.TreeJoin(2), 50, 8, 9), 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			runBoth(t, tc.in, tc.p)
+		})
+	}
+}
+
+func mustAGM(t *testing.T, q *hypergraph.Query, n int) *relation.Instance {
+	t.Helper()
+	in, err := workload.AGMWorstCase(q, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestHeterogeneousSizes(t *testing.T) {
+	// Theorem 4's regime: per-relation sizes differ. Both runs must
+	// stay exact, and the path-optimal L must reflect the product of
+	// the *actual* cover-relation sizes, not N^{ρ*}.
+	q := hypergraph.PathJoin(3)
+	in := workload.UniformSizes(q, []int{400, 50, 400}, 5000, 7)
+	runBoth(t, in, 8)
+
+	// Cover {R1, R3}: L = (400·400/p)^{1/2} = 400/√8, well below the
+	// homogeneous N/p^{1/2} with N=400 only if sizes entered... here
+	// they are equal on the cover; shrink R3 instead and watch L drop.
+	smallCover := workload.UniformSizes(q, []int{400, 400, 50}, 5000, 8)
+	lBig := ChooseL(in, 8, PathOptimal)
+	lSmall := ChooseL(smallCover, 8, PathOptimal)
+	if lSmall >= lBig {
+		t.Fatalf("L did not drop with a smaller cover relation: %d vs %d", lSmall, lBig)
+	}
+}
+
+func TestRunRejectsCyclic(t *testing.T) {
+	c := mpc.NewCluster(4)
+	in := workload.Matching(hypergraph.TriangleJoin(), 10)
+	if _, err := Run(c.Root(), in, Options{}); err == nil {
+		t.Fatal("expected error for cyclic query")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	in := workload.Uniform(hypergraph.PathJoin(4), 60, 10, 17)
+	c1 := mpc.NewCluster(8)
+	r1, err := Run(c1.Root(), in, Options{Strategy: PathOptimal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := mpc.NewCluster(8)
+	r2, err := Run(c2.Root(), in, Options{Strategy: PathOptimal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Emitted != r2.Emitted || c1.Stats() != c2.Stats() {
+		t.Fatalf("non-deterministic: %v vs %v", c1.Stats(), c2.Stats())
+	}
+}
+
+func TestRunRespectsExplicitL(t *testing.T) {
+	in := workload.Matching(hypergraph.PathJoin(3), 200)
+	c := mpc.NewCluster(4)
+	res, err := Run(c.Root(), in, Options{Strategy: PathOptimal, L: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L != 77 {
+		t.Fatalf("L = %d, want 77", res.L)
+	}
+	if res.Emitted != 200 {
+		t.Fatalf("emitted %d", res.Emitted)
+	}
+}
+
+func TestLoadStaysNearL(t *testing.T) {
+	// The central guarantee: load O(L). Verify measured load is within
+	// a modest constant of the chosen L on the AGM worst case.
+	q := hypergraph.PathJoin(3)
+	in := mustAGM(t, q, 400) // output 160k, N=400
+	p := 16
+	c := mpc.NewCluster(p)
+	res, err := Run(c.Root(), in, Options{Strategy: PathOptimal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Emitted != in.JoinSize() {
+		t.Fatalf("emitted %d, want %d", res.Emitted, in.JoinSize())
+	}
+	st := c.Stats()
+	if st.MaxLoad > 8*res.L {
+		t.Errorf("load %d exceeds 8·L = %d", st.MaxLoad, 8*res.L)
+	}
+	if st.Rounds > 60 {
+		t.Errorf("rounds = %d, not constant-ish", st.Rounds)
+	}
+}
+
+func TestServerUsageBounded(t *testing.T) {
+	// Theorem 4: p servers suffice at the chosen L. Virtual usage may
+	// exceed p by constants; it must not blow up polynomially.
+	q := hypergraph.PathJoin(3)
+	in := mustAGM(t, q, 400)
+	p := 16
+	c := mpc.NewCluster(p)
+	if _, err := Run(c.Root(), in, Options{Strategy: PathOptimal}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.ServersUsed > 40*p {
+		t.Errorf("servers used %d far above budget %d", st.ServersUsed, p)
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	q := hypergraph.PathJoin(3)
+	in := relation.NewInstance(q)
+	c := mpc.NewCluster(4)
+	res, err := Run(c.Root(), in, Options{Strategy: PathOptimal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Emitted != 0 {
+		t.Fatalf("emitted %d from empty instance", res.Emitted)
+	}
+}
+
+func TestOneRelationQuery(t *testing.T) {
+	q := hypergraph.MustParse("single", "R1(A,B)")
+	in := workload.Uniform(q, 50, 20, 1)
+	c := mpc.NewCluster(4)
+	res, err := Run(c.Root(), in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Emitted != 50 {
+		t.Fatalf("emitted %d, want 50", res.Emitted)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Conservative.String() != "conservative" || PathOptimal.String() != "path-optimal" {
+		t.Fatal("strategy strings wrong")
+	}
+}
+
+func TestTraceRecordsDecisions(t *testing.T) {
+	in := workload.Uniform(hypergraph.PathJoin(4), 60, 10, 19)
+	c := mpc.NewCluster(8)
+	res, err := Run(c.Root(), in, Options{Strategy: PathOptimal, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	sawCaseI := false
+	for _, line := range res.Trace {
+		if strings.Contains(line, "case I") {
+			sawCaseI = true
+		}
+	}
+	if !sawCaseI {
+		t.Fatalf("no case I decision in trace: %v", res.Trace)
+	}
+	// Without the option the trace stays empty.
+	c2 := mpc.NewCluster(8)
+	res2, err := Run(c2.Root(), in, Options{Strategy: PathOptimal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Trace) != 0 {
+		t.Fatal("trace recorded without the option")
+	}
+}

@@ -1,0 +1,206 @@
+package cyclic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"coverpack/internal/core"
+	"coverpack/internal/hypercube"
+	"coverpack/internal/hypergraph"
+	"coverpack/internal/mpc"
+	"coverpack/internal/primitives"
+	"coverpack/internal/relation"
+)
+
+// RunLW executes the multi-round worst-case optimal algorithm for any
+// Loomis-Whitney join LW_n (E = {V−{x} : x ∈ V}, footnote 3 — the
+// triangle is LW_3), the other family of Table 1's multi-round cell.
+// Load: Õ(N/p^{1/ρ*}) with ρ* = n/(n−1).
+//
+// Same decomposition as the triangle: δ = N/p^{(n-1)/n}-style cutoff,
+// stratify by the heavy pattern, run the all-light stratum on one-round
+// HyperCube, and observe that fixing a heavy value of x makes the
+// residual trivially acyclic — the edge V−{x} (which never contained x)
+// becomes a full edge of the residual and absorbs every other relation,
+// so internal/core finishes each heavy branch.
+func RunLW(g *mpc.Group, in *relation.Instance) (*Result, error) {
+	q := in.Query
+	if !q.IsLoomisWhitney() {
+		return nil, fmt.Errorf("cyclic: %s is not a Loomis-Whitney join", q.Name())
+	}
+	attrs := q.AllVars().Attrs()
+	nAttrs := len(attrs)
+	n := in.N()
+	p := g.Size()
+	// Heavy cutoff: the share per dimension is p^{1/n} (every attribute
+	// participates in n−1 of the n relations; the symmetric share LP
+	// gives s_v = 1/n).
+	delta := int64(float64(n) / math.Pow(float64(p), 1/float64(nAttrs)))
+	if delta < 1 {
+		delta = 1
+	}
+
+	cntAttr := q.NumAttrs() + 1
+	heavy := make(map[int]map[relation.Value]bool, nAttrs)
+	for _, a := range attrs {
+		heavy[a] = make(map[relation.Value]bool)
+		for _, e := range q.EdgesWith(a).Edges() {
+			d := g.Scatter(in.Rel(e).Dedup())
+			degs := primitives.Degrees(g, d, a, cntAttr)
+			rows := g.Gather(g.Local(degs, func(_ int, f *relation.Relation) *relation.Relation {
+				out := relation.New(f.Schema())
+				for _, t := range f.Tuples() {
+					if f.Get(t, cntAttr) > delta {
+						out.Add(t)
+					}
+				}
+				return out
+			}))
+			for _, t := range rows.Tuples() {
+				heavy[a][rows.Get(t, a)] = true
+			}
+		}
+	}
+
+	pos := make(map[int]int, nAttrs)
+	for i, a := range attrs {
+		pos[a] = i
+	}
+	pattern := func(r *relation.Relation, t relation.Tuple) (mask uint16) {
+		for _, a := range r.Schema().Attrs() {
+			if heavy[a][r.Get(t, a)] {
+				mask |= 1 << uint(pos[a])
+			}
+		}
+		return
+	}
+	edgeMask := func(e int) (m uint16) {
+		for _, a := range q.EdgeVars(e).Attrs() {
+			m |= 1 << uint(pos[a])
+		}
+		return
+	}
+
+	res := &Result{Threshold: delta}
+	var branches []mpc.Branch
+	var emits []int64
+	var errSlots []*error
+	addBranch := func(servers int, run func(sub *mpc.Group) (int64, error)) {
+		idx := len(emits)
+		emits = append(emits, 0)
+		errSlot := new(error)
+		errSlots = append(errSlots, errSlot)
+		branches = append(branches, mpc.Branch{
+			Servers: servers,
+			Run: func(sub *mpc.Group) {
+				emits[idx], *errSlot = run(sub)
+			},
+		})
+	}
+
+	limit := uint16(1) << uint(nAttrs)
+	for mask := uint16(0); mask < limit; mask++ {
+		strat := relation.NewInstance(q)
+		empty := false
+		for e := 0; e < q.NumEdges(); e++ {
+			em := edgeMask(e)
+			src := in.Rel(e).Dedup()
+			dst := strat.Rel(e)
+			for _, t := range src.Tuples() {
+				if pattern(src, t) == mask&em {
+					dst.Add(t)
+				}
+			}
+			if dst.Len() == 0 {
+				empty = true
+				break
+			}
+		}
+		if empty {
+			continue
+		}
+		if mask == 0 {
+			stratIn := strat
+			addBranch(p, func(sub *mpc.Group) (int64, error) {
+				r, err := hypercube.Run(sub, stratIn)
+				if err != nil {
+					return 0, err
+				}
+				return r.Emitted, nil
+			})
+			continue
+		}
+		// Split on the lowest heavy attribute.
+		h := -1
+		for i, a := range attrs {
+			if mask&(1<<uint(i)) != 0 {
+				h = a
+				break
+			}
+		}
+		vals := lwHeavyValues(strat, q, h)
+		if len(vals) == 0 {
+			continue
+		}
+		perBranch := p / len(vals)
+		if perBranch < 1 {
+			perBranch = 1
+		}
+		for _, v := range vals {
+			sub, err := residualInstance(strat, h, v)
+			if err != nil {
+				return nil, err
+			}
+			if sub == nil {
+				continue
+			}
+			res.HeavyBranches++
+			branchIn := sub
+			addBranch(perBranch, func(sg *mpc.Group) (int64, error) {
+				units := make([]int, sg.Size())
+				per := branchIn.TotalTuples()/sg.Size() + 1
+				for i := range units {
+					units[i] = per
+				}
+				sg.ChargeControl(units)
+				r, err := core.Run(sg, branchIn, core.Options{Strategy: core.PathOptimal})
+				if err != nil {
+					return 0, err
+				}
+				return r.Emitted, nil
+			})
+		}
+	}
+
+	g.Parallel(branches)
+	for _, es := range errSlots {
+		if *es != nil {
+			return nil, *es
+		}
+	}
+	for _, e := range emits {
+		res.Emitted += e
+	}
+	return res, nil
+}
+
+// lwHeavyValues lists the distinct h-values present in every relation
+// containing h within the stratum (sorted).
+func lwHeavyValues(in *relation.Instance, q *hypergraph.Query, h int) []relation.Value {
+	es := q.EdgesWith(h).Edges()
+	counts := make(map[relation.Value]int)
+	for _, e := range es {
+		for v := range in.Rel(e).DistinctValues(h) {
+			counts[v]++
+		}
+	}
+	var out []relation.Value
+	for v, c := range counts {
+		if c == len(es) {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

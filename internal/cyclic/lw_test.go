@@ -1,0 +1,134 @@
+package cyclic
+
+import (
+	"testing"
+
+	"coverpack/internal/hypergraph"
+	"coverpack/internal/mpc"
+	"coverpack/internal/relation"
+	"coverpack/internal/workload"
+)
+
+func TestRunLWExactOnUniform(t *testing.T) {
+	q := hypergraph.LoomisWhitneyJoin(4)
+	in := workload.Uniform(q, 200, 12, 3)
+	want := in.JoinSize()
+	c := mpc.NewCluster(16)
+	res, err := RunLW(c.Root(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Emitted != want {
+		t.Fatalf("emitted %d, want %d", res.Emitted, want)
+	}
+}
+
+func TestRunLWExactOnAGM(t *testing.T) {
+	// LW_4 AGM worst case: ρ* = 4/3, output N^{4/3}.
+	q := hypergraph.LoomisWhitneyJoin(4)
+	in, err := workload.AGMWorstCase(q, 256) // dom 4 per attr (256^{1/4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := in.JoinSize()
+	c := mpc.NewCluster(16)
+	res, err := RunLW(c.Root(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Emitted != want {
+		t.Fatalf("emitted %d, want %d", res.Emitted, want)
+	}
+}
+
+func TestRunLWExactOnSkew(t *testing.T) {
+	// Explicit heavy construction: X1 is pinned to 0 in every relation
+	// containing it, so the single value 0 has degree d² ≫ δ and the
+	// heavy machinery must fire. The X1-free relation R1 and the
+	// projections of the others are full d×d grids, so the output is
+	// |R1| = d².
+	q := hypergraph.LoomisWhitneyJoin(4)
+	in := relation.NewInstance(q)
+	const d = 12
+	for e := 0; e < q.NumEdges(); e++ {
+		r := in.Rel(e)
+		schema := r.Schema()
+		x1 := q.AttrID("X1")
+		if schema.Has(x1) {
+			free := make([]int, 0, 2)
+			for _, a := range schema.Attrs() {
+				if a != x1 {
+					free = append(free, a)
+				}
+			}
+			for a := int64(0); a < d; a++ {
+				for b := int64(0); b < d; b++ {
+					tp := make(relation.Tuple, schema.Len())
+					tp[schema.Pos(free[0])] = a
+					tp[schema.Pos(free[1])] = b
+					r.Add(tp) // X1 column stays 0
+				}
+			}
+		} else {
+			// R1(X2,X3,X4): a d×d grid with the third coordinate
+			// determined, so |R1| = d² and every tuple joins.
+			as := schema.Attrs()
+			for a := int64(0); a < d; a++ {
+				for b := int64(0); b < d; b++ {
+					tp := make(relation.Tuple, schema.Len())
+					tp[schema.Pos(as[0])] = a
+					tp[schema.Pos(as[1])] = b
+					tp[schema.Pos(as[2])] = (a + b) % d
+					r.Add(tp)
+				}
+			}
+		}
+	}
+	want := in.JoinSize()
+	if want != d*d {
+		t.Fatalf("construction broken: oracle output %d, want %d", want, d*d)
+	}
+	c := mpc.NewCluster(16)
+	res, err := RunLW(c.Root(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Emitted != want {
+		t.Fatalf("emitted %d, want %d", res.Emitted, want)
+	}
+	if res.HeavyBranches == 0 {
+		t.Fatal("pinned heavy value produced no heavy branches")
+	}
+}
+
+func TestRunLWTriangleAgrees(t *testing.T) {
+	// The triangle is LW_3: both entry points must emit identically.
+	q := hypergraph.TriangleJoin()
+	in := workload.Uniform(q, 250, 40, 8)
+	c1 := mpc.NewCluster(16)
+	r1, err := RunTriangle(c1.Root(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := mpc.NewCluster(16)
+	r2, err := RunLW(c2.Root(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Emitted != r2.Emitted {
+		t.Fatalf("triangle %d vs LW %d", r1.Emitted, r2.Emitted)
+	}
+}
+
+func TestRunLWRejects(t *testing.T) {
+	for _, q := range []*hypergraph.Query{
+		hypergraph.PathJoin(3),
+		hypergraph.SquareJoin(),
+		hypergraph.CycleJoin(4),
+	} {
+		c := mpc.NewCluster(4)
+		if _, err := RunLW(c.Root(), workload.Matching(q, 5)); err == nil {
+			t.Errorf("%s: expected rejection", q.Name())
+		}
+	}
+}

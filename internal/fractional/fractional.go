@@ -1,0 +1,409 @@
+// Package fractional computes the query-dependent quantities the paper's
+// bounds are stated in: the optimal fractional edge covering number ρ*,
+// the optimal fractional edge packing number τ*, their dual fractional
+// vertex covers, the edge quasi-packing number ψ* of [19], and the AGM
+// bound. All numbers are exact rationals produced by the internal/lp
+// simplex, so structural facts the paper relies on — half-integrality of
+// degree-two solutions (Lemma 5.3), integrality of acyclic covers
+// (Lemma A.2), τ* + ρ* = |E| for degree-two joins — are checked with
+// exact comparisons.
+package fractional
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"coverpack/internal/hypergraph"
+	"coverpack/internal/lp"
+)
+
+// Assignment is a fractional weighting of the relations (edges) of a
+// query, e.g. an edge cover or packing.
+type Assignment struct {
+	Query   *hypergraph.Query
+	Weights []*big.Rat // indexed by edge
+	Number  *big.Rat   // Σ_e Weights[e]
+}
+
+// Value returns the weight of edge e.
+func (a *Assignment) Value(e int) *big.Rat { return a.Weights[e] }
+
+// Support returns the edges with nonzero weight.
+func (a *Assignment) Support() hypergraph.EdgeSet {
+	var es hypergraph.EdgeSet
+	for i, w := range a.Weights {
+		if w.Sign() != 0 {
+			es.Add(i)
+		}
+	}
+	return es
+}
+
+// IsIntegral reports whether every weight is an integer.
+func (a *Assignment) IsIntegral() bool {
+	for _, w := range a.Weights {
+		if !w.IsInt() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsHalfIntegral reports whether every weight is a multiple of 1/2.
+func (a *Assignment) IsHalfIntegral() bool {
+	half := big.NewRat(1, 2)
+	for _, w := range a.Weights {
+		q := new(big.Rat).Quo(w, half)
+		if !q.IsInt() {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *Assignment) String() string {
+	s := ""
+	for i, w := range a.Weights {
+		if w.Sign() == 0 {
+			continue
+		}
+		if s != "" {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s=%s", a.Query.Edge(i).Name, w.RatString())
+	}
+	return fmt.Sprintf("[%s] number=%s", s, a.Number.RatString())
+}
+
+// VertexAssignment is a fractional weighting of the attributes, e.g. a
+// fractional vertex cover (Section 5.2).
+type VertexAssignment struct {
+	Query   *hypergraph.Query
+	Weights map[int]*big.Rat // attribute id -> weight
+	Number  *big.Rat
+}
+
+// Value returns the weight of attribute a (zero if absent).
+func (v *VertexAssignment) Value(a int) *big.Rat {
+	if w, ok := v.Weights[a]; ok {
+		return w
+	}
+	return new(big.Rat)
+}
+
+// EdgeSum returns Σ_{v ∈ e} x_v for edge e.
+func (v *VertexAssignment) EdgeSum(e int) *big.Rat {
+	sum := new(big.Rat)
+	for _, a := range v.Query.EdgeVars(e).Attrs() {
+		sum.Add(sum, v.Value(a))
+	}
+	return sum
+}
+
+// IsConstantSmall reports whether max_v x_v <= 1 − ε for the given ε
+// (Definition 5.4's "constant-small" requirement).
+func (v *VertexAssignment) IsConstantSmall(eps *big.Rat) bool {
+	limit := new(big.Rat).Sub(big.NewRat(1, 1), eps)
+	for _, w := range v.Weights {
+		if w.Cmp(limit) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// edgeProblem builds the shared LP skeleton: one variable per edge, one
+// row per attribute with coefficient 1 for each edge containing it.
+func edgeProblem(q *hypergraph.Query, maximize bool, sense lp.Sense) *lp.Problem {
+	m := q.NumEdges()
+	p := lp.NewProblem(m, maximize)
+	for e := 0; e < m; e++ {
+		p.SetObjective(e, lp.Int(1))
+	}
+	for _, a := range q.AllVars().Attrs() {
+		coeffs := make([]*big.Rat, m)
+		for e := 0; e < m; e++ {
+			if q.EdgeVars(e).Contains(a) {
+				coeffs[e] = lp.Int(1)
+			} else {
+				coeffs[e] = lp.Int(0)
+			}
+		}
+		p.AddConstraint(coeffs, sense, lp.Int(1))
+	}
+	return p
+}
+
+// EdgeCover computes an optimal fractional edge covering: minimize Σf(e)
+// subject to Σ_{e ∋ v} f(e) ≥ 1 for every attribute v. Its number is ρ*.
+func EdgeCover(q *hypergraph.Query) (*Assignment, error) {
+	sol, err := lp.Solve(edgeProblem(q, false, lp.GE))
+	if err != nil {
+		return nil, fmt.Errorf("fractional: edge cover of %s: %w", q.Name(), err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("fractional: edge cover of %s: %v", q.Name(), sol.Status)
+	}
+	return &Assignment{Query: q, Weights: sol.X, Number: sol.Value}, nil
+}
+
+// EdgePacking computes an optimal fractional edge packing: maximize Σf(e)
+// subject to Σ_{e ∋ v} f(e) ≤ 1 for every attribute v. Its number is τ*.
+func EdgePacking(q *hypergraph.Query) (*Assignment, error) {
+	sol, err := lp.Solve(edgeProblem(q, true, lp.LE))
+	if err != nil {
+		return nil, fmt.Errorf("fractional: edge packing of %s: %w", q.Name(), err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("fractional: edge packing of %s: %v", q.Name(), sol.Status)
+	}
+	return &Assignment{Query: q, Weights: sol.X, Number: sol.Value}, nil
+}
+
+// VertexCover computes an optimal fractional vertex covering: minimize
+// Σx_v subject to Σ_{v ∈ e} x_v ≥ 1 for every edge e. By LP duality its
+// number equals τ* (the paper's Section 5.2 uses this prime-dual pair).
+func VertexCover(q *hypergraph.Query) (*VertexAssignment, error) {
+	attrs := q.AllVars().Attrs()
+	n := len(attrs)
+	if n == 0 {
+		return nil, fmt.Errorf("fractional: vertex cover of %s: no attributes", q.Name())
+	}
+	pos := make(map[int]int, n)
+	for i, a := range attrs {
+		pos[a] = i
+	}
+	p := lp.NewProblem(n, false)
+	for i := 0; i < n; i++ {
+		p.SetObjective(i, lp.Int(1))
+	}
+	for e := 0; e < q.NumEdges(); e++ {
+		coeffs := make([]*big.Rat, n)
+		for i := range coeffs {
+			coeffs[i] = lp.Int(0)
+		}
+		for _, a := range q.EdgeVars(e).Attrs() {
+			coeffs[pos[a]] = lp.Int(1)
+		}
+		p.AddConstraint(coeffs, lp.GE, lp.Int(1))
+	}
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return nil, fmt.Errorf("fractional: vertex cover of %s: %w", q.Name(), err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("fractional: vertex cover of %s: %v", q.Name(), sol.Status)
+	}
+	weights := make(map[int]*big.Rat, n)
+	for i, a := range attrs {
+		weights[a] = sol.X[i]
+	}
+	return &VertexAssignment{Query: q, Weights: weights, Number: sol.Value}, nil
+}
+
+// VertexPacking computes an optimal fractional vertex packing: maximize
+// Σy_v subject to Σ_{v ∈ e} y_v ≤ 1 for every edge e. By LP duality its
+// number equals ρ*. It is the recipe for AGM-tight worst-case instances:
+// give attribute v a domain of N^{y_v} values and make every relation the
+// Cartesian product of its attribute domains — each relation then has at
+// most N tuples while the output reaches N^{ρ*}.
+func VertexPacking(q *hypergraph.Query) (*VertexAssignment, error) {
+	attrs := q.AllVars().Attrs()
+	n := len(attrs)
+	if n == 0 {
+		return nil, fmt.Errorf("fractional: vertex packing of %s: no attributes", q.Name())
+	}
+	pos := make(map[int]int, n)
+	for i, a := range attrs {
+		pos[a] = i
+	}
+	p := lp.NewProblem(n, true)
+	for i := 0; i < n; i++ {
+		p.SetObjective(i, lp.Int(1))
+	}
+	for e := 0; e < q.NumEdges(); e++ {
+		coeffs := make([]*big.Rat, n)
+		for i := range coeffs {
+			coeffs[i] = lp.Int(0)
+		}
+		for _, a := range q.EdgeVars(e).Attrs() {
+			coeffs[pos[a]] = lp.Int(1)
+		}
+		p.AddConstraint(coeffs, lp.LE, lp.Int(1))
+	}
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return nil, fmt.Errorf("fractional: vertex packing of %s: %w", q.Name(), err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("fractional: vertex packing of %s: %v", q.Name(), sol.Status)
+	}
+	weights := make(map[int]*big.Rat, n)
+	for i, a := range attrs {
+		weights[a] = sol.X[i]
+	}
+	return &VertexAssignment{Query: q, Weights: weights, Number: sol.Value}, nil
+}
+
+// Rho computes ρ*, the optimal fractional edge covering number.
+func Rho(q *hypergraph.Query) (*big.Rat, error) {
+	a, err := EdgeCover(q)
+	if err != nil {
+		return nil, err
+	}
+	return a.Number, nil
+}
+
+// Tau computes τ*, the optimal fractional edge packing number.
+func Tau(q *hypergraph.Query) (*big.Rat, error) {
+	a, err := EdgePacking(q)
+	if err != nil {
+		return nil, err
+	}
+	return a.Number, nil
+}
+
+// Psi computes ψ*, the optimal fractional edge quasi-packing number of
+// [19] (footnote 2): the maximum τ*(Q_x) over all residual queries Q_x,
+// x ⊆ V, where the residual drops emptied relations and duplicates.
+// The enumeration is exponential in |V|; query sizes are constants (data
+// complexity), and Psi refuses queries with more than PsiMaxAttrs
+// attributes to keep accidental blowups loud.
+func Psi(q *hypergraph.Query) (*big.Rat, error) {
+	attrs := q.AllVars().Attrs()
+	if len(attrs) > PsiMaxAttrs {
+		return nil, fmt.Errorf("fractional: psi of %s: %d attributes exceeds limit %d",
+			q.Name(), len(attrs), PsiMaxAttrs)
+	}
+	best := new(big.Rat)
+	for mask := 0; mask < 1<<uint(len(attrs)); mask++ {
+		var x hypergraph.VarSet
+		for b, a := range attrs {
+			if mask&(1<<uint(b)) != 0 {
+				x.Add(a)
+			}
+		}
+		res := q.Residual(x)
+		if res.NumEdges() == 0 {
+			continue
+		}
+		// Deduplicate only *identical* residual edges: duplicates share
+		// every attribute, so merging them never changes the packing
+		// optimum, and the LPs stay small. Subset absorption would be
+		// wrong here — a strictly smaller residual edge can still carry
+		// packing weight on its own (e.g. the triangle's residuals).
+		res = dedupEqualEdges(res)
+		tau, err := Tau(res)
+		if err != nil {
+			return nil, fmt.Errorf("fractional: psi of %s: %w", q.Name(), err)
+		}
+		if tau.Cmp(best) > 0 {
+			best = tau
+		}
+	}
+	return best, nil
+}
+
+// PsiMaxAttrs bounds the residual enumeration in Psi.
+const PsiMaxAttrs = 22
+
+// dedupEqualEdges drops relations whose attribute set duplicates an
+// earlier relation's.
+func dedupEqualEdges(q *hypergraph.Query) *hypergraph.Query {
+	var keep hypergraph.EdgeSet
+	for i := 0; i < q.NumEdges(); i++ {
+		dup := false
+		for j := 0; j < i; j++ {
+			if q.EdgeVars(i).Equal(q.EdgeVars(j)) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			keep.Add(i)
+		}
+	}
+	if keep.Len() == q.NumEdges() {
+		return q
+	}
+	return q.KeepEdges(keep)
+}
+
+// AGMBound returns the Atserias–Grohe–Marx bound on the join output size
+// for the given per-relation sizes: min over fractional edge covers f of
+// Π_e |R(e)|^{f(e)}. It solves the weighted cover LP (minimize
+// Σ f(e)·log|R(e)|) and returns the bound as a float64 along with the
+// optimal weighting. Relations with zero size force a zero bound.
+func AGMBound(q *hypergraph.Query, sizes []int) (float64, *Assignment, error) {
+	if len(sizes) != q.NumEdges() {
+		return 0, nil, fmt.Errorf("fractional: AGM of %s: %d sizes for %d relations",
+			q.Name(), len(sizes), q.NumEdges())
+	}
+	for _, s := range sizes {
+		if s == 0 {
+			return 0, nil, nil
+		}
+		if s < 0 {
+			return 0, nil, fmt.Errorf("fractional: AGM of %s: negative size", q.Name())
+		}
+	}
+	m := q.NumEdges()
+	p := lp.NewProblem(m, false)
+	for e := 0; e < m; e++ {
+		// Rational approximation of log2(size) at 2^-20 precision is
+		// far finer than any feasible-basis distinction for these LPs.
+		lg := math.Log2(float64(sizes[e]))
+		p.SetObjective(e, new(big.Rat).SetFloat64(math.Round(lg*(1<<20))/(1<<20)))
+	}
+	for _, a := range q.AllVars().Attrs() {
+		coeffs := make([]*big.Rat, m)
+		for e := 0; e < m; e++ {
+			if q.EdgeVars(e).Contains(a) {
+				coeffs[e] = lp.Int(1)
+			} else {
+				coeffs[e] = lp.Int(0)
+			}
+		}
+		p.AddConstraint(coeffs, lp.GE, lp.Int(1))
+	}
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return 0, nil, fmt.Errorf("fractional: AGM of %s: %w", q.Name(), err)
+	}
+	if sol.Status != lp.Optimal {
+		return 0, nil, fmt.Errorf("fractional: AGM of %s: %v", q.Name(), sol.Status)
+	}
+	bound := 1.0
+	num := new(big.Rat)
+	for e := 0; e < m; e++ {
+		w, _ := sol.X[e].Float64()
+		bound *= math.Pow(float64(sizes[e]), w)
+		num.Add(num, sol.X[e])
+	}
+	return bound, &Assignment{Query: q, Weights: sol.X, Number: num}, nil
+}
+
+// Numbers bundles the three query quantities of Table 1.
+type Numbers struct {
+	Rho *big.Rat // optimal fractional edge covering number ρ*
+	Tau *big.Rat // optimal fractional edge packing number τ*
+	Psi *big.Rat // optimal fractional edge quasi-packing number ψ*
+}
+
+// Compute returns ρ*, τ* and ψ* for the query.
+func Compute(q *hypergraph.Query) (Numbers, error) {
+	rho, err := Rho(q)
+	if err != nil {
+		return Numbers{}, err
+	}
+	tau, err := Tau(q)
+	if err != nil {
+		return Numbers{}, err
+	}
+	psi, err := Psi(q)
+	if err != nil {
+		return Numbers{}, err
+	}
+	return Numbers{Rho: rho, Tau: tau, Psi: psi}, nil
+}

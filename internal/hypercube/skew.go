@@ -1,0 +1,221 @@
+package hypercube
+
+import (
+	"math"
+	"math/big"
+
+	"coverpack/internal/mpc"
+	"coverpack/internal/primitives"
+	"coverpack/internal/relation"
+)
+
+// This file implements the skew-aware one-round algorithm in the spirit
+// of [19]: classify each attribute value heavy/light against a degree
+// threshold, stratify tuples by their heavy pattern, and run HyperCube
+// per stratum with share exponents capped by the (small) number of
+// distinct heavy values in heavy dimensions. The strata partition the
+// output, so each join result is emitted exactly once, and the
+// worst-case load tracks Õ(N/p^{1/ψ*}) — the quantity ψ* maximizes over
+// residual queries is exactly the packing number of the stratum's light
+// part. See DESIGN.md's substitution table.
+
+// SkewAwareResult extends Result with stratification detail.
+type SkewAwareResult struct {
+	Emitted int64
+	// Strata counts the nonempty heavy-pattern strata executed.
+	Strata int
+	// Threshold is the heavy-degree cutoff used.
+	Threshold int64
+}
+
+// heavyValues computes, per attribute, the set of values whose degree in
+// some relation containing the attribute exceeds the threshold. Degrees
+// are computed with the accounted Degrees primitive, and the (small)
+// heavy lists are broadcast to all servers, also accounted.
+func heavyValues(g *mpc.Group, in *relation.Instance, threshold int64, countAttr int) map[int]map[relation.Value]bool {
+	q := in.Query
+	heavy := make(map[int]map[relation.Value]bool)
+	for _, a := range q.AllVars().Attrs() {
+		heavy[a] = make(map[relation.Value]bool)
+		for _, e := range q.EdgesWith(a).Edges() {
+			d := g.Scatter(in.Rel(e))
+			degs := primitives.Degrees(g, d, a, countAttr)
+			// Keep only heavy rows, then broadcast them (every server
+			// needs the cutoff lists to classify its tuples).
+			hv := g.Local(degs, func(_ int, f *relation.Relation) *relation.Relation {
+				out := relation.New(f.Schema())
+				for _, t := range f.Tuples() {
+					if f.Get(t, countAttr) > threshold {
+						out.Add(t)
+					}
+				}
+				return out
+			})
+			all := g.Broadcast(hv)
+			one := all.Frags[0]
+			for _, t := range one.Tuples() {
+				heavy[a][one.Get(t, a)] = true
+			}
+		}
+	}
+	return heavy
+}
+
+// SkewAware runs the stratified one-round algorithm on the group with
+// the default threshold N/p^{1/ψ*}; psi is ψ* of the query (callers get
+// it from fractional.Psi).
+func SkewAware(g *mpc.Group, in *relation.Instance, psi float64) (*SkewAwareResult, error) {
+	n := in.N()
+	p := g.Size()
+	threshold := int64(float64(n) / math.Pow(float64(p), 1/psi))
+	if threshold < 1 {
+		threshold = 1
+	}
+	return SkewAwareWithThreshold(g, in, threshold)
+}
+
+// SkewAwareWithThreshold runs the stratified algorithm with an explicit
+// heavy-degree threshold.
+func SkewAwareWithThreshold(g *mpc.Group, in *relation.Instance, threshold int64) (*SkewAwareResult, error) {
+	q := in.Query
+	countAttr := q.NumAttrs() + 1
+	heavy := heavyValues(g, in, threshold, countAttr)
+
+	attrs := q.AllVars().Attrs()
+	pos := make(map[int]int, len(attrs))
+	for i, a := range attrs {
+		pos[a] = i
+	}
+
+	// Stratify: a tuple of relation e belongs to the stratum whose
+	// heavy set, restricted to e's attributes, matches exactly the
+	// tuple's heavy values. Patterns are bitmasks over all attributes;
+	// relation e's tuples are compatible with any pattern that agrees
+	// on e's attributes, and strata join results are disjoint because a
+	// join result fixes the full pattern.
+	type stratum struct {
+		pattern uint64
+		inst    *relation.Instance
+	}
+	strata := make(map[uint64]*stratum)
+	fullMasks := func(e int) (maskOf func(t *relation.Relation, tp relation.Tuple) uint64) {
+		return func(r *relation.Relation, tp relation.Tuple) uint64 {
+			var m uint64
+			for _, a := range q.EdgeVars(e).Attrs() {
+				if heavy[a][r.Get(tp, a)] {
+					m |= 1 << uint(pos[a])
+				}
+			}
+			return m
+		}
+	}
+	var edgeMask = func(e int) uint64 {
+		var m uint64
+		for _, a := range q.EdgeVars(e).Attrs() {
+			m |= 1 << uint(pos[a])
+		}
+		return m
+	}
+	// Enumerate candidate global patterns = subsets of attributes that
+	// are heavy somewhere; cap the enumeration for sanity.
+	var heavyAttrs []int
+	for _, a := range attrs {
+		if len(heavy[a]) > 0 {
+			heavyAttrs = append(heavyAttrs, a)
+		}
+	}
+	if len(heavyAttrs) > 20 {
+		heavyAttrs = heavyAttrs[:20]
+	}
+	for mask := 0; mask < 1<<uint(len(heavyAttrs)); mask++ {
+		var pattern uint64
+		for b, a := range heavyAttrs {
+			if mask&(1<<uint(b)) != 0 {
+				pattern |= 1 << uint(pos[a])
+			}
+		}
+		st := &stratum{pattern: pattern, inst: relation.NewInstance(q)}
+		empty := false
+		for e := 0; e < q.NumEdges(); e++ {
+			mf := fullMasks(e)
+			em := edgeMask(e)
+			r := in.Rel(e)
+			dst := st.inst.Rel(e)
+			for _, tp := range r.Tuples() {
+				if mf(r, tp) == pattern&em {
+					dst.Add(tp)
+				}
+			}
+			if dst.Len() == 0 {
+				empty = true
+				break
+			}
+		}
+		if !empty {
+			strata[pattern] = st
+		}
+	}
+
+	// Run each stratum's HyperCube in parallel. Heavy dimensions get a
+	// share cap equal to their heavy-value count (hashing beyond the
+	// distinct count buys nothing); light dimensions cap at the
+	// stratum's distinct light values.
+	var res SkewAwareResult
+	res.Threshold = threshold
+	var branches []mpc.Branch
+	var emits []int64
+	si := 0
+	for pattern, st := range strata {
+		pattern := pattern
+		st := st
+		idx := si
+		si++
+		emits = append(emits, 0)
+		branches = append(branches, mpc.Branch{
+			Servers: g.Size(),
+			Run: func(sub *mpc.Group) {
+				caps := make(map[int]*big.Rat)
+				domCaps := make(map[int]int64)
+				logp := math.Log(float64(sub.Size()))
+				for _, a := range attrs {
+					var dom int64
+					if pattern&(1<<uint(pos[a])) != 0 {
+						dom = int64(len(heavy[a]))
+					} else {
+						seen := make(map[relation.Value]bool)
+						for _, e := range q.EdgesWith(a).Edges() {
+							r := st.inst.Rel(e)
+							for v := range r.DistinctValues(a) {
+								seen[v] = true
+							}
+						}
+						dom = int64(len(seen))
+					}
+					if dom < 1 {
+						dom = 1
+					}
+					domCaps[a] = dom
+					if logp > 0 {
+						c := math.Log(float64(dom)) / logp
+						if c < 1 {
+							caps[a] = new(big.Rat).SetFloat64(math.Max(0, c))
+						}
+					}
+				}
+				exps, err := ShareExponents(q, caps)
+				if err != nil {
+					panic(err)
+				}
+				shares := Shares(q, sub.Size(), exps, domCaps)
+				r := RunWithShares(sub, st.inst, shares, uint64(pattern)*0x9e37+1)
+				emits[idx] = r.Emitted
+			},
+		})
+	}
+	g.Parallel(branches)
+	for _, e := range emits {
+		res.Emitted += e
+	}
+	res.Strata = len(strata)
+	return &res, nil
+}

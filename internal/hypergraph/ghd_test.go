@@ -1,0 +1,103 @@
+package hypergraph
+
+import "testing"
+
+func TestWidth1GHDOnAcyclic(t *testing.T) {
+	for _, q := range []*Query{
+		PathJoin(4),
+		StarJoin(3),
+		Figure4Join(),
+		TreeJoin(2),
+		SemiJoinExample(),
+	} {
+		g, ok := Width1GHD(q)
+		if !ok {
+			t.Fatalf("%s: no width-1 GHD", q.Name())
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", q.Name(), err)
+		}
+		if len(g.Bags) != q.NumEdges() {
+			t.Errorf("%s: %d bags for %d edges", q.Name(), len(g.Bags), q.NumEdges())
+		}
+	}
+}
+
+func TestWidth1GHDRejectsCyclic(t *testing.T) {
+	for _, q := range []*Query{TriangleJoin(), SquareJoin(), LoomisWhitneyJoin(4)} {
+		if _, ok := Width1GHD(q); ok {
+			t.Errorf("%s: cyclic query got a width-1 GHD", q.Name())
+		}
+	}
+}
+
+func TestGHDValidateCatchesBadBags(t *testing.T) {
+	q := PathJoin(2)
+	g, _ := Width1GHD(q)
+	// A bag larger than any edge violates property (3).
+	g.Bags[0] = q.AllVars()
+	if err := g.Validate(); err == nil {
+		t.Fatal("oversized bag accepted")
+	}
+	// A bag too small to hold its edge violates property (2).
+	g2, _ := Width1GHD(q)
+	g2.Bags[0] = NewVarSet(q.AttrID("X1"))
+	if err := g2.Validate(); err == nil {
+		t.Fatal("undersized bag accepted")
+	}
+}
+
+func TestIsFreeConnex(t *testing.T) {
+	line := PathJoin(3) // R1(X1,X2) R2(X2,X3) R3(X3,X4)
+	x1 := line.AttrID("X1")
+	x2 := line.AttrID("X2")
+	x3 := line.AttrID("X3")
+	x4 := line.AttrID("X4")
+
+	for _, tc := range []struct {
+		name string
+		y    VarSet
+		want bool
+	}{
+		{"empty", VarSet{}, true},
+		{"all", line.AllVars(), true},
+		{"one edge", NewVarSet(x1, x2), true},
+		{"prefix", NewVarSet(x1, x2, x3), true},
+		// {X1, X4}: the endpoints without the middle — adding the bag
+		// {X1,X4} creates a Berge/α cycle with the path, not
+		// free-connex (the classic counterexample).
+		{"endpoints", NewVarSet(x1, x4), false},
+		{"middle", NewVarSet(x2, x3), true},
+	} {
+		if got := IsFreeConnex(line, tc.y); got != tc.want {
+			t.Errorf("%s: IsFreeConnex = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// Cyclic queries are never free-connex here.
+	if IsFreeConnex(TriangleJoin(), VarSet{}) {
+		t.Error("triangle reported free-connex")
+	}
+}
+
+func TestStatisticsQueriesAreFreeConnex(t *testing.T) {
+	// The Section 3.2 guarantee: on acyclic queries, the per-attribute
+	// statistics queries over any connected subset are free-connex.
+	q := Figure4Join()
+	tree, _ := GYO(q)
+	for _, x := range q.AllVars().Attrs() {
+		for _, s := range SubsetsOf(q.AllEdges().Edges()) {
+			if s.IsEmpty() {
+				continue
+			}
+			// Only single tree-connected components (that is what the
+			// algorithm counts over).
+			if len(tree.ConnectedComponentsOn(s)) != 1 {
+				continue
+			}
+			if !StatisticsQueryIsFreeConnex(q, s, x) {
+				t.Errorf("S=%s x=%s: statistics query not free-connex",
+					q.FormatEdges(s), q.AttrName(x))
+			}
+		}
+	}
+}

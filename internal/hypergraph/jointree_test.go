@@ -1,0 +1,192 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGYOAcyclicBasics(t *testing.T) {
+	for _, tc := range []struct {
+		q       *Query
+		acyclic bool
+	}{
+		{PathJoin(1), true},
+		{PathJoin(3), true},
+		{PathJoin(7), true},
+		{StarJoin(4), true},
+		{StarDualJoin(4), true},
+		{Figure4Join(), true},
+		{TreeJoin(3), true},
+		{SemiJoinExample(), true},
+		{TriangleJoin(), false},
+		{CycleJoin(4), false},
+		{CycleJoin(7), false},
+		{SquareJoin(), false},
+		{SpokeJoin(4), false},
+		{LoomisWhitneyJoin(4), false},
+	} {
+		tree, ok := GYO(tc.q)
+		if ok != tc.acyclic {
+			t.Errorf("%s: acyclic = %v, want %v", tc.q.Name(), ok, tc.acyclic)
+			continue
+		}
+		if ok {
+			if err := tree.Validate(); err != nil {
+				t.Errorf("%s: invalid join tree: %v\n%s", tc.q.Name(), err, tree)
+			}
+		}
+		if tc.q.IsAcyclic() != tc.acyclic {
+			t.Errorf("%s: IsAcyclic disagrees", tc.q.Name())
+		}
+	}
+}
+
+func TestJoinTreeForestForDisconnected(t *testing.T) {
+	q := MustParse("cc", "R1(A,B) R2(B,C) R3(D,E)")
+	tree, ok := GYO(q)
+	if !ok {
+		t.Fatal("should be acyclic")
+	}
+	roots := tree.Roots()
+	if len(roots) != 2 {
+		t.Fatalf("roots = %v, want one per component", roots)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinTreeNavigation(t *testing.T) {
+	q := Figure4Join()
+	tree, ok := GYO(q)
+	if !ok {
+		t.Fatal("figure 4 query must be acyclic")
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	roots := tree.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("roots = %v", roots)
+	}
+	// Every edge reachable from the root.
+	all := tree.SubtreeEdges(roots[0])
+	if all.Len() != q.NumEdges() {
+		t.Fatalf("subtree of root covers %d of %d edges", all.Len(), q.NumEdges())
+	}
+	// Path between two leaves passes through connected tree nodes.
+	leaves := tree.Leaves()
+	if len(leaves) < 2 {
+		t.Fatalf("leaves = %v", leaves)
+	}
+	p := tree.Path(leaves[0], leaves[1])
+	if len(p) < 2 || p[0] != leaves[0] || p[len(p)-1] != leaves[1] {
+		t.Fatalf("path = %v", p)
+	}
+	for i := 0; i+1 < len(p); i++ {
+		linked := tree.Parent[p[i]] == p[i+1] || tree.Parent[p[i+1]] == p[i]
+		if !linked {
+			t.Fatalf("path step %d-%d not a tree link", p[i], p[i+1])
+		}
+	}
+	if tree.Path(leaves[0], leaves[0]) == nil {
+		t.Fatal("self path should be non-nil")
+	}
+}
+
+func TestPathDisconnected(t *testing.T) {
+	q := MustParse("cc", "R1(A,B) R2(C,D)")
+	tree, _ := GYO(q)
+	if p := tree.Path(0, 1); p != nil {
+		t.Fatalf("path across components = %v, want nil", p)
+	}
+}
+
+func TestConnectedComponentsOn(t *testing.T) {
+	// Reproduces Example 3.2: S1 = {e1,e3,e7} is connected in the
+	// hypergraph (via A) but splits into three components on the tree.
+	q := Figure4Join()
+	tree, _ := GYO(q)
+	e := func(name string) int { return q.EdgeIndex(name) }
+	s1 := NewEdgeSet(e("e1"), e("e3"), e("e7"))
+	comps := tree.ConnectedComponentsOn(s1)
+	if len(comps) != 3 {
+		t.Fatalf("T[S1] has %d components, want 3\n%s", len(comps), tree)
+	}
+	// Hypergraph connectivity of the same set is a single component.
+	if n := len(q.KeepEdges(s1).ConnectedComponents()); n != 1 {
+		t.Fatalf("hypergraph components of S1 = %d, want 1", n)
+	}
+}
+
+func TestRemoveEdges(t *testing.T) {
+	q := PathJoin(4)
+	tree, _ := GYO(q)
+	// Remove one interior node; its children must re-root past it.
+	var interior int = -1
+	for i := 0; i < q.NumEdges(); i++ {
+		if tree.Parent[i] >= 0 && len(tree.Children(i)) > 0 {
+			interior = i
+			break
+		}
+	}
+	if interior == -1 {
+		t.Skip("no interior node in this tree shape")
+	}
+	rest := tree.RemoveEdges(NewEdgeSet(interior))
+	if rest.Parent[interior] != -2 {
+		t.Fatal("removed edge should be marked")
+	}
+	for i := range rest.Parent {
+		if i != interior && rest.Parent[i] == interior {
+			t.Fatal("child still points at removed edge")
+		}
+	}
+}
+
+// Property: random acyclic queries built by growing a tree always pass
+// GYO with a validating join tree; adding a chord that closes a cycle of
+// binary relations makes them cyclic.
+func TestPropertyGYORandomTrees(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(3))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		q := NewQuery("rand-tree")
+		// Grow: relation i joins attribute of a previous relation to a
+		// fresh attribute — always acyclic (a tree of binary edges).
+		attrs := []string{"V0"}
+		for i := 1; i <= n; i++ {
+			from := attrs[rng.Intn(len(attrs))]
+			to := "V" + itoa(i)
+			attrs = append(attrs, to)
+			q.AddEdge("R"+itoa(i), from, to)
+		}
+		tree, ok := GYO(q)
+		if !ok {
+			t.Logf("seed %d: tree query reported cyclic", seed)
+			return false
+		}
+		if err := tree.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if len(tree.Parent) != q.NumEdges() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cycles of binary relations of length >= 3 are always cyclic.
+func TestPropertyCyclesAreCyclic(t *testing.T) {
+	for k := 3; k <= 10; k++ {
+		if CycleJoin(k).IsAcyclic() {
+			t.Fatalf("cycle-%d reported acyclic", k)
+		}
+	}
+}

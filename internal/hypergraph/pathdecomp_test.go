@@ -1,0 +1,82 @@
+package hypergraph
+
+import "testing"
+
+func TestIsTreeJoin(t *testing.T) {
+	for _, tc := range []struct {
+		q    *Query
+		want bool
+	}{
+		{PathJoin(4), true},
+		{TreeJoin(2), true},
+		{StarJoin(3), false}, // hub relation has 3 attributes
+		{TriangleJoin(), false},
+		{Figure4Join(), false},
+	} {
+		if got := tc.q.IsTreeJoin(); got != tc.want {
+			t.Errorf("%s: IsTreeJoin = %v, want %v", tc.q.Name(), got, tc.want)
+		}
+	}
+}
+
+func TestPathDecompositionPath(t *testing.T) {
+	// A path join is a single path.
+	q := PathJoin(5)
+	paths, err := q.PathDecomposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || paths[0].Len() != 5 {
+		t.Fatalf("paths = %v", paths)
+	}
+}
+
+func TestPathDecompositionTree(t *testing.T) {
+	// Footnote 8: a tree join decomposes into vertex-disjoint path
+	// joins. Validate the three properties on a binary tree of depth 3.
+	q := TreeJoin(3)
+	paths, err := q.PathDecomposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1) Edges partitioned.
+	var union EdgeSet
+	total := 0
+	for _, p := range paths {
+		for _, e := range p.Edges() {
+			if union.Contains(e) {
+				t.Fatalf("edge %d in two paths", e)
+			}
+			union.Add(e)
+		}
+		total += p.Len()
+	}
+	if total != q.NumEdges() {
+		t.Fatalf("covered %d of %d edges", total, q.NumEdges())
+	}
+	// (2) Each part is itself a path join: connected, acyclic, max
+	// attribute degree 2 within the part.
+	for i, p := range paths {
+		sub := q.KeepEdges(p)
+		if !sub.IsAcyclic() {
+			t.Fatalf("path %d not acyclic", i)
+		}
+		if len(sub.ConnectedComponents()) != 1 {
+			t.Fatalf("path %d disconnected", i)
+		}
+		for _, a := range sub.AllVars().Attrs() {
+			if sub.Degree(a) > 2 {
+				t.Fatalf("path %d: attribute %s has degree %d", i, sub.AttrName(a), sub.Degree(a))
+			}
+		}
+	}
+}
+
+func TestPathDecompositionRejectsNonTree(t *testing.T) {
+	if _, err := StarJoin(3).PathDecomposition(); err == nil {
+		t.Fatal("star join should be rejected (hub arity 3)")
+	}
+	if _, err := TriangleJoin().PathDecomposition(); err == nil {
+		t.Fatal("triangle should be rejected")
+	}
+}

@@ -1,0 +1,119 @@
+package mpc
+
+import (
+	"testing"
+
+	"coverpack/internal/relation"
+)
+
+func TestDistributeSplitsAndCharges(t *testing.T) {
+	c := NewCluster(4)
+	g := c.Root()
+	d := g.Scatter(fill(relation.NewSchema(0), 30))
+	// Tuples with even value to branch 0 (2 servers, round-robin),
+	// odd to branch 1 (3 servers, replicated).
+	rr := 0
+	parts := g.Distribute(d, []int{2, 3}, func(f *relation.Relation, tp relation.Tuple) []BranchDest {
+		if tp[0]%2 == 0 {
+			dst := BranchDest{Branch: 0, Server: rr % 2}
+			rr++
+			return []BranchDest{dst}
+		}
+		out := make([]BranchDest, 3)
+		for s := range out {
+			out[s] = BranchDest{Branch: 1, Server: s}
+		}
+		return out
+	})
+	if len(parts) != 2 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	evens, odds := 0, 0
+	for _, tp := range d.Collect().Tuples() {
+		if tp[0]%2 == 0 {
+			evens++
+		} else {
+			odds++
+		}
+	}
+	if parts[0].Len() != evens {
+		t.Fatalf("branch 0 has %d, want %d", parts[0].Len(), evens)
+	}
+	for s, f := range parts[1].Frags {
+		if f.Len() != odds {
+			t.Fatalf("branch 1 server %d has %d, want %d (replicated)", s, f.Len(), odds)
+		}
+	}
+	st := c.Stats()
+	if st.Rounds != 1 {
+		t.Fatalf("rounds = %d", st.Rounds)
+	}
+	if st.TotalUnits != int64(evens+3*odds) {
+		t.Fatalf("total = %d, want %d", st.TotalUnits, evens+3*odds)
+	}
+}
+
+func TestDistributePanics(t *testing.T) {
+	c := NewCluster(2)
+	g := c.Root()
+	d := g.Scatter(fill(relation.NewSchema(0), 2))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero-size branch should panic")
+			}
+		}()
+		g.Distribute(d, []int{0}, func(*relation.Relation, relation.Tuple) []BranchDest { return nil })
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range destination should panic")
+			}
+		}()
+		g.Distribute(d, []int{1}, func(*relation.Relation, relation.Tuple) []BranchDest {
+			return []BranchDest{{Branch: 0, Server: 5}}
+		})
+	}()
+}
+
+func TestDistributeDropsUnrouted(t *testing.T) {
+	c := NewCluster(2)
+	g := c.Root()
+	d := g.Scatter(fill(relation.NewSchema(0), 10))
+	parts := g.Distribute(d, []int{1}, func(*relation.Relation, relation.Tuple) []BranchDest {
+		return nil // drop everything
+	})
+	if parts[0].Len() != 0 {
+		t.Fatalf("dropped tuples reappeared: %d", parts[0].Len())
+	}
+	if st := c.Stats(); st.TotalUnits != 0 || st.Rounds != 1 {
+		t.Fatalf("stats = %v", st)
+	}
+}
+
+func TestDeclareServers(t *testing.T) {
+	c := NewCluster(4)
+	g := c.Root()
+	g.DeclareServers(100)
+	if st := c.Stats(); st.ServersUsed != 100 {
+		t.Fatalf("servers = %d, want 100", st.ServersUsed)
+	}
+	g.DeclareServers(50) // never shrinks
+	if st := c.Stats(); st.ServersUsed != 100 {
+		t.Fatalf("servers = %d after smaller declare", st.ServersUsed)
+	}
+}
+
+func TestDebugLoadHook(t *testing.T) {
+	seen := 0
+	DebugLoad = func(maxLoad int) { seen = maxLoad }
+	defer func() { DebugLoad = nil }()
+	c := NewCluster(2)
+	g := c.Root()
+	d := g.Scatter(fill(relation.NewSchema(0), 8))
+	g.Broadcast(d)
+	if seen != 8 {
+		t.Fatalf("hook saw %d, want 8", seen)
+	}
+}

@@ -1,0 +1,428 @@
+// Package mpc simulates the Massively Parallel Computation model of
+// Section 1.2: p servers, computation in rounds, and cost measured by
+// the load L — the maximum number of communication units (tuples, plus
+// O(log N)-bit control integers, each 1 unit) received by any server in
+// any round.
+//
+// The simulator is virtual: a Group is a set of virtual servers, and
+// algorithms may split groups into parallel subgroups, mirroring the
+// paper's "allocate p_a servers to subquery a" recursions. Accounting is
+// hierarchical:
+//
+//   - Load: the max per-round per-server received units anywhere in the
+//     computation (the paper's L).
+//   - Rounds: parallel branches overlap, so a Parallel block contributes
+//     the max of its branches' round counts, while sequential steps add.
+//   - ServersUsed: the peak number of concurrently active virtual
+//     servers; Theorem-style statements "computable with O(f) servers at
+//     load O(L)" are checked by comparing ServersUsed against f and Load
+//     against L.
+//
+// Data lives in DistRelations: one relation fragment per server of the
+// owning group. All communication goes through Group.Exchange (or the
+// conveniences built on it), which is where cost is charged. Decisions
+// the driver makes from O(p)-size summaries (fragment sizes, heavy-value
+// cutoffs) model the free control channel of the paper's lower-bound
+// convention; every tuple and every per-value statistic moved between
+// servers is charged.
+package mpc
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"coverpack/internal/relation"
+)
+
+// Stats aggregates the cost of a (sub)computation.
+type Stats struct {
+	// Rounds is the number of communication rounds on the critical
+	// path (parallel branches overlap).
+	Rounds int
+	// MaxLoad is the maximum units received by any virtual server in
+	// any single round.
+	MaxLoad int
+	// TotalUnits is the total communication volume in units.
+	TotalUnits int64
+	// ServersUsed is the peak number of concurrently active servers.
+	ServersUsed int
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("rounds=%d load=%d total=%d servers=%d",
+		s.Rounds, s.MaxLoad, s.TotalUnits, s.ServersUsed)
+}
+
+// Cluster owns one simulated computation.
+type Cluster struct {
+	// Budget is the number of physical servers the caller claims to
+	// have (the paper's p). Virtual usage may exceed it; experiments
+	// compare Stats.ServersUsed against Budget.
+	Budget int
+	root   *Group
+}
+
+// NewCluster creates a cluster with the given server budget and a root
+// group of exactly that size.
+func NewCluster(p int) *Cluster {
+	if p <= 0 {
+		panic(fmt.Sprintf("mpc: cluster needs p >= 1, got %d", p))
+	}
+	c := &Cluster{Budget: p}
+	c.root = &Group{cluster: c, size: p, used: p}
+	return c
+}
+
+// Root returns the root group (size = Budget).
+func (c *Cluster) Root() *Group { return c.root }
+
+// Stats returns the accumulated cost of the whole computation so far.
+func (c *Cluster) Stats() Stats { return c.root.Stats() }
+
+// Group is a set of virtual servers executing one (sub)computation.
+type Group struct {
+	cluster *Cluster
+	size    int
+	stats   Stats
+	used    int // peak concurrent servers within this group's lifetime
+}
+
+// Size returns the number of servers in the group.
+func (g *Group) Size() int { return g.size }
+
+// Stats returns the cost charged to this group so far.
+func (g *Group) Stats() Stats {
+	s := g.stats
+	if s.ServersUsed < g.used {
+		s.ServersUsed = g.used
+	}
+	return s
+}
+
+// DebugLoad, when non-nil, is invoked with the per-round maximum load
+// of every exchange; debugging hook for locating load spikes (pair with
+// runtime/debug.Stack in the callback).
+var DebugLoad func(maxLoad int)
+
+// chargeRound records one communication round with the given
+// per-destination received unit counts.
+func (g *Group) chargeRound(recv []int) {
+	if DebugLoad != nil {
+		m := 0
+		for _, r := range recv {
+			if r > m {
+				m = r
+			}
+		}
+		DebugLoad(m)
+	}
+	g.stats.Rounds++
+	for _, r := range recv {
+		if r > g.stats.MaxLoad {
+			g.stats.MaxLoad = r
+		}
+		g.stats.TotalUnits += int64(r)
+	}
+	if g.size > g.used {
+		g.used = g.size
+	}
+}
+
+// merge folds a completed child computation into this group as one
+// parallel block member; the caller accumulates the block via
+// mergeParallel.
+func (g *Group) absorbSequential(child *Group) {
+	g.stats.Rounds += child.stats.Rounds
+	if child.stats.MaxLoad > g.stats.MaxLoad {
+		g.stats.MaxLoad = child.stats.MaxLoad
+	}
+	g.stats.TotalUnits += child.stats.TotalUnits
+	cu := child.Stats().ServersUsed
+	if cu > g.used {
+		g.used = cu
+	}
+}
+
+// DistRelation is a relation partitioned across the servers of a group:
+// Frags[i] is server i's fragment.
+type DistRelation struct {
+	Schema relation.Schema
+	Frags  []*relation.Relation
+}
+
+// NewDist allocates an empty distributed relation for a group of the
+// given size.
+func NewDist(schema relation.Schema, size int) *DistRelation {
+	frags := make([]*relation.Relation, size)
+	for i := range frags {
+		frags[i] = relation.New(schema)
+	}
+	return &DistRelation{Schema: schema, Frags: frags}
+}
+
+// Len returns the total tuple count across fragments.
+func (d *DistRelation) Len() int {
+	n := 0
+	for _, f := range d.Frags {
+		n += f.Len()
+	}
+	return n
+}
+
+// MaxFrag returns the largest fragment size.
+func (d *DistRelation) MaxFrag() int {
+	m := 0
+	for _, f := range d.Frags {
+		if f.Len() > m {
+			m = f.Len()
+		}
+	}
+	return m
+}
+
+// Collect concatenates all fragments into one local relation. It is a
+// zero-cost inspection helper for tests and oracles, not a simulated
+// communication step — use Gather for the accounted operation.
+func (d *DistRelation) Collect() *relation.Relation {
+	out := relation.New(d.Schema)
+	for _, f := range d.Frags {
+		out.Append(f)
+	}
+	return out
+}
+
+// Scatter distributes a local relation round-robin over the group —
+// the "data initially distributed evenly" premise of the model. It is
+// free: initial placement precedes the computation.
+func (g *Group) Scatter(r *relation.Relation) *DistRelation {
+	d := NewDist(r.Schema(), g.size)
+	for i, t := range r.Tuples() {
+		d.Frags[i%g.size].Add(t)
+	}
+	return d
+}
+
+// hashKey gives a deterministic hash of an encoded key.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// HashPartition re-partitions d by the given attributes: every tuple
+// goes to server hash(key) mod size. One round; cost = tuples received.
+func (g *Group) HashPartition(d *DistRelation, attrs []int) *DistRelation {
+	out := NewDist(d.Schema, g.size)
+	recv := make([]int, g.size)
+	for _, f := range d.Frags {
+		for _, t := range f.Tuples() {
+			dest := int(hashKey(f.KeyOn(t, attrs)) % uint64(g.size))
+			out.Frags[dest].Add(t)
+			recv[dest]++
+		}
+	}
+	g.chargeRound(recv)
+	return out
+}
+
+// Broadcast sends every tuple of d to every server. One round; each
+// server receives Len(d) units.
+func (g *Group) Broadcast(d *DistRelation) *DistRelation {
+	all := d.Collect()
+	out := NewDist(d.Schema, g.size)
+	recv := make([]int, g.size)
+	for i := range out.Frags {
+		out.Frags[i] = all.Clone()
+		recv[i] = all.Len()
+	}
+	g.chargeRound(recv)
+	return out
+}
+
+// Gather collects d onto server 0. One round; server 0 receives
+// Len(d) units. Use only for provably small data (statistics).
+func (g *Group) Gather(d *DistRelation) *relation.Relation {
+	recv := make([]int, g.size)
+	recv[0] = d.Len()
+	g.chargeRound(recv)
+	return d.Collect()
+}
+
+// Route sends each tuple to the destinations chosen by route (0-based
+// server indices within the group); tuples may be replicated. One round.
+func (g *Group) Route(d *DistRelation, route func(src int, t relation.Tuple) []int) *DistRelation {
+	out := NewDist(d.Schema, g.size)
+	recv := make([]int, g.size)
+	for src, f := range d.Frags {
+		for _, t := range f.Tuples() {
+			for _, dest := range route(src, t) {
+				if dest < 0 || dest >= g.size {
+					panic(fmt.Sprintf("mpc: route destination %d outside group of size %d", dest, g.size))
+				}
+				out.Frags[dest].Add(t)
+				recv[dest]++
+			}
+		}
+	}
+	g.chargeRound(recv)
+	return out
+}
+
+// Local applies a per-server transformation with no communication.
+func (g *Group) Local(d *DistRelation, f func(server int, frag *relation.Relation) *relation.Relation) *DistRelation {
+	if len(d.Frags) != g.size {
+		panic("mpc: Local on relation of mismatched group size")
+	}
+	var schema relation.Schema
+	out := &DistRelation{Frags: make([]*relation.Relation, g.size)}
+	for i, frag := range d.Frags {
+		nf := f(i, frag)
+		out.Frags[i] = nf
+		schema = nf.Schema()
+	}
+	out.Schema = schema
+	return out
+}
+
+// Branch describes one member of a parallel block: a subgroup size and
+// the computation to run on it.
+type Branch struct {
+	Servers int
+	Run     func(sub *Group)
+}
+
+// Parallel executes the branches on disjoint virtual subgroups that run
+// concurrently: the block costs the max of the branches' rounds, the max
+// of their loads, the sum of their communication volumes, and the sum of
+// their peak server usages.
+func (g *Group) Parallel(branches []Branch) {
+	maxRounds := 0
+	maxLoad := 0
+	var total int64
+	sumUsed := 0
+	for _, b := range branches {
+		if b.Servers <= 0 {
+			panic(fmt.Sprintf("mpc: parallel branch with %d servers", b.Servers))
+		}
+		sub := &Group{cluster: g.cluster, size: b.Servers}
+		b.Run(sub)
+		s := sub.Stats()
+		if s.Rounds > maxRounds {
+			maxRounds = s.Rounds
+		}
+		if s.MaxLoad > maxLoad {
+			maxLoad = s.MaxLoad
+		}
+		total += s.TotalUnits
+		sumUsed += s.ServersUsed
+	}
+	g.stats.Rounds += maxRounds
+	if maxLoad > g.stats.MaxLoad {
+		g.stats.MaxLoad = maxLoad
+	}
+	g.stats.TotalUnits += total
+	if sumUsed > g.used {
+		g.used = sumUsed
+	}
+}
+
+// Subgroup runs one computation on a fresh subgroup of the given size,
+// sequentially within g (rounds add).
+func (g *Group) Subgroup(servers int, run func(sub *Group)) {
+	if servers <= 0 {
+		panic(fmt.Sprintf("mpc: subgroup with %d servers", servers))
+	}
+	sub := &Group{cluster: g.cluster, size: servers}
+	run(sub)
+	g.absorbSequential(sub)
+}
+
+// SendTo moves a distributed relation from this group into a target
+// fragment layout of a different size, assigning tuple i%k of the
+// flattened stream to target server i%k (balanced round-robin). It is a
+// single round charged to g; the returned DistRelation belongs to a
+// group of size k.
+func (g *Group) SendTo(d *DistRelation, k int) *DistRelation {
+	if k <= 0 {
+		panic(fmt.Sprintf("mpc: SendTo with %d servers", k))
+	}
+	out := NewDist(d.Schema, k)
+	recv := make([]int, maxInt(k, g.size))
+	i := 0
+	for _, f := range d.Frags {
+		for _, t := range f.Tuples() {
+			dest := i % k
+			out.Frags[dest].Add(t)
+			recv[dest]++
+			i++
+		}
+	}
+	g.chargeRound(recv)
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// BranchDest addresses a destination inside a parallel block that is
+// about to be launched: server Server of branch Branch.
+type BranchDest struct {
+	Branch, Server int
+}
+
+// Distribute reshapes a distributed relation into per-branch relations
+// in a single exchange: route returns, for each tuple, the branch
+// servers that must receive it (possibly several — replication is how
+// broadcasts to branches happen). sizes gives each branch's server
+// count. The round is charged to g with per-destination loads.
+func (g *Group) Distribute(d *DistRelation, sizes []int, route func(src *relation.Relation, t relation.Tuple) []BranchDest) []*DistRelation {
+	out := make([]*DistRelation, len(sizes))
+	offset := make([]int, len(sizes))
+	total := 0
+	for i, k := range sizes {
+		if k <= 0 {
+			panic(fmt.Sprintf("mpc: Distribute branch %d with %d servers", i, k))
+		}
+		out[i] = NewDist(d.Schema, k)
+		offset[i] = total
+		total += k
+	}
+	recv := make([]int, maxInt(total, g.size))
+	for _, f := range d.Frags {
+		for _, t := range f.Tuples() {
+			for _, dest := range route(f, t) {
+				if dest.Branch < 0 || dest.Branch >= len(sizes) ||
+					dest.Server < 0 || dest.Server >= sizes[dest.Branch] {
+					panic(fmt.Sprintf("mpc: Distribute destination %+v out of range", dest))
+				}
+				out[dest.Branch].Frags[dest.Server].Add(t)
+				recv[offset[dest.Branch]+dest.Server]++
+			}
+		}
+	}
+	g.chargeRound(recv)
+	return out
+}
+
+// DeclareServers records that the computation logically occupies at
+// least n concurrent virtual servers, even if the simulator ran the
+// replicated work only once. The Case II Cartesian arrangement of the
+// acyclic algorithm uses a p_1 × ... × p_k hypercube whose rows perform
+// identical work; the simulator executes one row per component and
+// declares the full grid here.
+func (g *Group) DeclareServers(n int) {
+	if n > g.used {
+		g.used = n
+	}
+}
+
+// ChargeControl records a round of control communication (counts,
+// offsets, group descriptors) where server i receives units[i] integers.
+// The paper's upper bounds count such integers as one unit each.
+func (g *Group) ChargeControl(units []int) {
+	g.chargeRound(units)
+}

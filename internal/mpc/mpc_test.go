@@ -1,0 +1,255 @@
+package mpc
+
+import (
+	"testing"
+
+	"coverpack/internal/relation"
+)
+
+func fill(schema relation.Schema, n int) *relation.Relation {
+	r := relation.New(schema)
+	for i := 0; i < n; i++ {
+		t := make(relation.Tuple, schema.Len())
+		for j := range t {
+			t[j] = int64(i*7 + j)
+		}
+		r.Add(t)
+	}
+	return r
+}
+
+func TestScatterEven(t *testing.T) {
+	c := NewCluster(4)
+	g := c.Root()
+	d := g.Scatter(fill(relation.NewSchema(0, 1), 103))
+	if d.Len() != 103 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.MaxFrag() > (103+3)/4+1 {
+		t.Fatalf("MaxFrag = %d, not even", d.MaxFrag())
+	}
+	if got := c.Stats(); got.Rounds != 0 || got.MaxLoad != 0 {
+		t.Fatalf("Scatter should be free, got %v", got)
+	}
+}
+
+func TestHashPartitionGroupsKeys(t *testing.T) {
+	c := NewCluster(5)
+	g := c.Root()
+	r := relation.New(relation.NewSchema(0, 1))
+	for i := int64(0); i < 100; i++ {
+		r.AddValues(i%10, i)
+	}
+	d := g.Scatter(r)
+	h := g.HashPartition(d, []int{0})
+	if h.Len() != 100 {
+		t.Fatalf("lost tuples: %d", h.Len())
+	}
+	// All tuples with the same key on one server.
+	owner := map[int64]int{}
+	for s, f := range h.Frags {
+		for _, tp := range f.Tuples() {
+			if prev, ok := owner[tp[0]]; ok && prev != s {
+				t.Fatalf("key %d on servers %d and %d", tp[0], prev, s)
+			}
+			owner[tp[0]] = s
+		}
+	}
+	st := c.Stats()
+	if st.Rounds != 1 {
+		t.Fatalf("rounds = %d", st.Rounds)
+	}
+	if st.TotalUnits != 100 {
+		t.Fatalf("total = %d", st.TotalUnits)
+	}
+	if st.MaxLoad < 10 { // at least one server holds a full key group
+		t.Fatalf("load = %d", st.MaxLoad)
+	}
+}
+
+func TestBroadcastLoad(t *testing.T) {
+	c := NewCluster(3)
+	g := c.Root()
+	d := g.Scatter(fill(relation.NewSchema(0), 30))
+	b := g.Broadcast(d)
+	for i, f := range b.Frags {
+		if f.Len() != 30 {
+			t.Fatalf("server %d has %d tuples", i, f.Len())
+		}
+	}
+	st := c.Stats()
+	if st.MaxLoad != 30 || st.TotalUnits != 90 || st.Rounds != 1 {
+		t.Fatalf("stats = %v", st)
+	}
+}
+
+func TestGather(t *testing.T) {
+	c := NewCluster(4)
+	g := c.Root()
+	d := g.Scatter(fill(relation.NewSchema(0), 20))
+	r := g.Gather(d)
+	if r.Len() != 20 {
+		t.Fatalf("gathered %d", r.Len())
+	}
+	if st := c.Stats(); st.MaxLoad != 20 || st.Rounds != 1 {
+		t.Fatalf("stats = %v", st)
+	}
+}
+
+func TestRouteReplication(t *testing.T) {
+	c := NewCluster(4)
+	g := c.Root()
+	d := g.Scatter(fill(relation.NewSchema(0), 10))
+	// Send every tuple to servers 0 and 1.
+	r := g.Route(d, func(src int, tp relation.Tuple) []int { return []int{0, 1} })
+	if r.Frags[0].Len() != 10 || r.Frags[1].Len() != 10 || r.Frags[2].Len() != 0 {
+		t.Fatal("replication wrong")
+	}
+	if st := c.Stats(); st.MaxLoad != 10 || st.TotalUnits != 20 {
+		t.Fatalf("stats = %v", st)
+	}
+}
+
+func TestRoutePanicsOnBadDest(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c := NewCluster(2)
+	g := c.Root()
+	d := g.Scatter(fill(relation.NewSchema(0), 2))
+	g.Route(d, func(int, relation.Tuple) []int { return []int{5} })
+}
+
+func TestLocalNoCost(t *testing.T) {
+	c := NewCluster(2)
+	g := c.Root()
+	d := g.Scatter(fill(relation.NewSchema(0, 1), 10))
+	out := g.Local(d, func(_ int, f *relation.Relation) *relation.Relation {
+		return f.Project(0)
+	})
+	if out.Len() != 10 || out.Schema.Len() != 1 {
+		t.Fatal("Local transform wrong")
+	}
+	if st := c.Stats(); st.Rounds != 0 || st.TotalUnits != 0 {
+		t.Fatalf("Local should be free: %v", st)
+	}
+}
+
+func TestParallelAccounting(t *testing.T) {
+	c := NewCluster(10)
+	g := c.Root()
+	g.Parallel([]Branch{
+		{Servers: 4, Run: func(sub *Group) {
+			d := sub.Scatter(fill(relation.NewSchema(0), 40))
+			sub.HashPartition(d, []int{0}) // 1 round
+		}},
+		{Servers: 6, Run: func(sub *Group) {
+			d := sub.Scatter(fill(relation.NewSchema(0), 60))
+			h := sub.HashPartition(d, []int{0})
+			sub.Broadcast(h) // 2 rounds total
+		}},
+	})
+	st := c.Stats()
+	if st.Rounds != 2 { // parallel: max(1,2)
+		t.Fatalf("rounds = %d, want 2", st.Rounds)
+	}
+	if st.ServersUsed != 10 { // 4+6 concurrent
+		t.Fatalf("servers = %d, want 10", st.ServersUsed)
+	}
+	if st.MaxLoad != 60 { // broadcast of 60 tuples to each of 6
+		t.Fatalf("load = %d, want 60", st.MaxLoad)
+	}
+}
+
+func TestSubgroupSequential(t *testing.T) {
+	c := NewCluster(8)
+	g := c.Root()
+	g.Subgroup(3, func(sub *Group) {
+		d := sub.Scatter(fill(relation.NewSchema(0), 30))
+		sub.HashPartition(d, []int{0})
+	})
+	g.Subgroup(5, func(sub *Group) {
+		d := sub.Scatter(fill(relation.NewSchema(0), 50))
+		sub.HashPartition(d, []int{0})
+	})
+	st := c.Stats()
+	if st.Rounds != 2 { // sequential: 1+1
+		t.Fatalf("rounds = %d, want 2", st.Rounds)
+	}
+	if st.ServersUsed != 8 { // root used = budget (max of 3, 5, initial 8)
+		t.Fatalf("servers = %d", st.ServersUsed)
+	}
+}
+
+func TestParallelServersExceedBudget(t *testing.T) {
+	// Virtual overcommit is allowed and visible in ServersUsed.
+	c := NewCluster(2)
+	g := c.Root()
+	g.Parallel([]Branch{
+		{Servers: 3, Run: func(sub *Group) { sub.ChargeControl([]int{1, 0, 0}) }},
+		{Servers: 4, Run: func(sub *Group) { sub.ChargeControl([]int{1, 0, 0, 0}) }},
+	})
+	if st := c.Stats(); st.ServersUsed != 7 {
+		t.Fatalf("servers = %d, want 7", st.ServersUsed)
+	}
+}
+
+func TestSendToResize(t *testing.T) {
+	c := NewCluster(6)
+	g := c.Root()
+	d := g.Scatter(fill(relation.NewSchema(0), 30))
+	small := g.SendTo(d, 2)
+	if len(small.Frags) != 2 || small.Len() != 30 {
+		t.Fatal("SendTo lost data")
+	}
+	if small.MaxFrag() != 15 {
+		t.Fatalf("uneven SendTo: %d", small.MaxFrag())
+	}
+	if st := c.Stats(); st.MaxLoad != 15 || st.Rounds != 1 {
+		t.Fatalf("stats = %v", st)
+	}
+}
+
+func TestChargeControl(t *testing.T) {
+	c := NewCluster(3)
+	g := c.Root()
+	g.ChargeControl([]int{5, 1, 0})
+	if st := c.Stats(); st.MaxLoad != 5 || st.TotalUnits != 6 || st.Rounds != 1 {
+		t.Fatalf("stats = %v", st)
+	}
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCluster(0)
+}
+
+func TestNestedParallel(t *testing.T) {
+	c := NewCluster(16)
+	g := c.Root()
+	g.Parallel([]Branch{
+		{Servers: 8, Run: func(sub *Group) {
+			sub.Parallel([]Branch{
+				{Servers: 4, Run: func(s2 *Group) { s2.ChargeControl(make([]int, 4)) }},
+				{Servers: 4, Run: func(s2 *Group) {
+					s2.ChargeControl(make([]int, 4))
+					s2.ChargeControl(make([]int, 4))
+				}},
+			})
+		}},
+		{Servers: 8, Run: func(sub *Group) { sub.ChargeControl(make([]int, 8)) }},
+	})
+	st := c.Stats()
+	if st.Rounds != 2 { // max( max(1,2), 1 )
+		t.Fatalf("rounds = %d, want 2", st.Rounds)
+	}
+	if st.ServersUsed != 16 {
+		t.Fatalf("servers = %d, want 16", st.ServersUsed)
+	}
+}

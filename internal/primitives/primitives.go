@@ -1,0 +1,250 @@
+// Package primitives implements the MPC building blocks of the paper's
+// Section 2 on top of the internal/mpc simulator:
+//
+//   - Reduce-by-key: associative aggregation of (key, value) pairs.
+//   - Degree statistics: per-value tuple counts of a relation attribute.
+//   - Semi-join, and full semi-join reduction over a join tree (removal
+//     of dangling tuples for acyclic queries, Yannakakis phase 1).
+//   - Parallel-packing: grouping weighted values into O(W/L + p) groups
+//     of weight at most L.
+//   - Distributed join-size counting over a join tree — the free-connex
+//     join-aggregate statistics queries the generic algorithm issues
+//     (see DESIGN.md for the substitution note on [16]).
+//
+// Every primitive charges its communication to the supplied Group; all
+// run in O(1) rounds with load O(input/p) as the paper states.
+package primitives
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"coverpack/internal/mpc"
+	"coverpack/internal/relation"
+)
+
+// ReduceByKey sums the value column per distinct key. The input is a
+// distributed relation whose schema contains the key attributes and the
+// value attribute; the output holds one (key..., sum) row per distinct
+// key, hash-partitioned by key.
+//
+// Servers pre-aggregate locally, then combine in two exchanges: partial
+// rows of a key first fan in to a block of ~√p servers tied to the key,
+// and the block's partials meet at the key's home server. A key held by
+// all p servers therefore costs O(√p) per round instead of O(p) — the
+// aggregation-tree trick that keeps the O(1)-round reduce-by-key load
+// at Õ(input/p + √p).
+func ReduceByKey(g *mpc.Group, d *mpc.DistRelation, keyAttrs []int, valAttr int) *mpc.DistRelation {
+	outSchema := relation.NewSchema(append(append([]int(nil), keyAttrs...), valAttr)...)
+	agg := func(dd *mpc.DistRelation) *mpc.DistRelation {
+		return g.Local(dd, func(_ int, f *relation.Relation) *relation.Relation {
+			return localAggregate(f, keyAttrs, valAttr, outSchema)
+		})
+	}
+	pre := agg(d)
+	p := g.Size()
+	if p >= 4 {
+		c := 1
+		for c*c < p {
+			c++
+		}
+		mid := g.Route(pre, func(src int, t relation.Tuple) []int {
+			f := pre.Frags[src]
+			base := int(keyHash(f.KeyOn(t, keyAttrs)) % uint64(p))
+			return []int{(base + src%c) % p}
+		})
+		pre = agg(mid)
+	}
+	parted := g.HashPartition(pre, keyAttrs)
+	return agg(parted)
+}
+
+// keyHash is a deterministic FNV-1a hash of an encoded key.
+func keyHash(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// localAggregate sums valAttr per key group of f, producing rows under
+// outSchema (keys ∪ {valAttr}).
+func localAggregate(f *relation.Relation, keyAttrs []int, valAttr int, outSchema relation.Schema) *relation.Relation {
+	sums := make(map[string]int64)
+	reps := make(map[string]relation.Tuple)
+	var order []string
+	for _, t := range f.Tuples() {
+		k := f.KeyOn(t, keyAttrs)
+		if _, ok := sums[k]; !ok {
+			order = append(order, k)
+			reps[k] = t
+		}
+		sums[k] += f.Get(t, valAttr)
+	}
+	out := relation.New(outSchema)
+	for _, k := range order {
+		rep := reps[k]
+		nt := make(relation.Tuple, outSchema.Len())
+		for i, a := range outSchema.Attrs() {
+			if a == valAttr {
+				nt[i] = sums[k]
+			} else {
+				nt[i] = f.Get(rep, a)
+			}
+		}
+		out.Add(nt)
+	}
+	return out
+}
+
+// Degrees computes, for each distinct value of attr in d, its degree
+// (number of tuples holding it), as a distributed relation with schema
+// (attr, countAttr), hash-partitioned by attr. This is the paper's
+// reduce-by-key application to degree statistics.
+func Degrees(g *mpc.Group, d *mpc.DistRelation, attr, countAttr int) *mpc.DistRelation {
+	withOnes := g.Local(d, func(_ int, f *relation.Relation) *relation.Relation {
+		out := relation.New(relation.NewSchema(attr, countAttr))
+		ap := out.Schema().Pos(attr)
+		cp := out.Schema().Pos(countAttr)
+		for _, t := range f.Tuples() {
+			nt := make(relation.Tuple, 2)
+			nt[ap] = f.Get(t, attr)
+			nt[cp] = 1
+			out.Add(nt)
+		}
+		return out
+	})
+	return ReduceByKey(g, withOnes, []int{attr}, countAttr)
+}
+
+// SemiJoin filters r to the tuples with a partner in s on their common
+// attributes: both sides are hash-partitioned on the common attributes
+// (one round each), then filtered locally. The result keeps r's schema,
+// partitioned by the common attributes.
+func SemiJoin(g *mpc.Group, r, s *mpc.DistRelation) *mpc.DistRelation {
+	common := r.Schema.Common(s.Schema)
+	if len(common) == 0 {
+		if s.Len() == 0 {
+			return mpc.NewDist(r.Schema, g.Size())
+		}
+		return r
+	}
+	rp := g.HashPartition(r, common)
+	sp := g.HashPartition(s, common)
+	out := mpc.NewDist(r.Schema, g.Size())
+	for i := range rp.Frags {
+		out.Frags[i] = rp.Frags[i].SemiJoin(sp.Frags[i])
+	}
+	return out
+}
+
+// SemiJoinReduceTree removes all dangling tuples of an acyclic instance
+// with two sweeps of distributed semi-joins over the join tree (leaf to
+// root, then root to leaf), as the paper's Section 2 notes following
+// Yannakakis. children[e] lists the join-tree children of edge e;
+// roots are the tree roots. O(1) rounds for constant-size queries.
+func SemiJoinReduceTree(g *mpc.Group, rels []*mpc.DistRelation, children [][]int, roots []int) []*mpc.DistRelation {
+	out := make([]*mpc.DistRelation, len(rels))
+	copy(out, rels)
+	var up func(e int)
+	up = func(e int) {
+		for _, c := range children[e] {
+			up(c)
+			out[e] = SemiJoin(g, out[e], out[c])
+		}
+	}
+	var down func(e int)
+	down = func(e int) {
+		for _, c := range children[e] {
+			out[c] = SemiJoin(g, out[c], out[e])
+			down(c)
+		}
+	}
+	for _, r := range roots {
+		up(r)
+		down(r)
+	}
+	return out
+}
+
+// PackResult is the output of Pack: an assignment of each input value to
+// a group id, plus the number of groups.
+type PackResult struct {
+	// Assign maps each value to its group in [0, NumGroups).
+	Assign *mpc.DistRelation // schema (valueAttr, groupAttr)
+	// NumGroups is the total number of groups created.
+	NumGroups int
+}
+
+// Pack implements the parallel-packing primitive: given one (value,
+// weight) row per value with every weight ≤ capacity, it groups values
+// so each group's total weight is at most capacity, using next-fit
+// locally per server plus one control round to allocate disjoint global
+// group ids. At most 2·W/capacity + p groups are created (W the total
+// weight) — the paper's variant guarantees all but one group at least
+// half full; per-server next-fit relaxes that to all but p groups,
+// which keeps every server-count bound in Theorems 1–5 intact (see
+// DESIGN.md).
+func Pack(g *mpc.Group, weights *mpc.DistRelation, valueAttr, weightAttr, groupAttr int, capacity int64) PackResult {
+	if capacity <= 0 {
+		panic("primitives: Pack capacity must be positive")
+	}
+	outSchema := relation.NewSchema(valueAttr, groupAttr)
+	binsPerServer := make([]int, len(weights.Frags))
+	// Pass 1: local next-fit to count bins per server.
+	type localAssign struct {
+		value relation.Value
+		bin   int
+	}
+	local := make([][]localAssign, len(weights.Frags))
+	for s, f := range weights.Frags {
+		// Deterministic order: sort rows by value.
+		rows := append([]relation.Tuple(nil), f.Tuples()...)
+		vp := f.Schema().Pos(valueAttr)
+		wp := f.Schema().Pos(weightAttr)
+		sort.Slice(rows, func(i, j int) bool { return rows[i][vp] < rows[j][vp] })
+		bin, binLoad := 0, int64(0)
+		opened := false
+		for _, t := range rows {
+			w := t[wp]
+			if w > capacity {
+				panic("primitives: Pack weight exceeds capacity")
+			}
+			if !opened {
+				opened = true
+			} else if binLoad+w > capacity {
+				bin++
+				binLoad = 0
+			}
+			binLoad += w
+			local[s] = append(local[s], localAssign{value: t[vp], bin: bin})
+		}
+		if opened {
+			binsPerServer[s] = bin + 1
+		}
+	}
+	// Control round: every server learns its global bin offset (one
+	// integer per server).
+	control := make([]int, len(weights.Frags))
+	for i := range control {
+		control[i] = 1
+	}
+	g.ChargeControl(control)
+	offsets := make([]int, len(weights.Frags))
+	total := 0
+	for s, b := range binsPerServer {
+		offsets[s] = total
+		total += b
+	}
+	assign := mpc.NewDist(outSchema, len(weights.Frags))
+	vp := outSchema.Pos(valueAttr)
+	gp := outSchema.Pos(groupAttr)
+	for s, as := range local {
+		for _, a := range as {
+			nt := make(relation.Tuple, 2)
+			nt[vp] = a.value
+			nt[gp] = int64(offsets[s] + a.bin)
+			assign.Frags[s].Add(nt)
+		}
+	}
+	return PackResult{Assign: assign, NumGroups: total}
+}

@@ -1,0 +1,149 @@
+package primitives
+
+import (
+	"coverpack/internal/mpc"
+	"coverpack/internal/relation"
+)
+
+// This file implements the distributed join-size statistics the generic
+// algorithm of Section 3 needs: the sizes of sub-joins |⊗(T, R, S)|,
+// optionally grouped by an attribute (the heavy/light statistics of
+// Step 1). The paper computes them with the free-connex join-aggregate
+// algorithm of [16]; this implementation uses the equivalent
+// Yannakakis-style bottom-up count DP over the join tree, built from
+// ReduceByKey and hash partitioning, so every unit of communication is
+// charged to the group (see the substitution table in DESIGN.md).
+//
+// Inputs describe one *connected component* of a join tree: children[e]
+// lists tree children, root is the component's root. Relations must be
+// duplicate-free (the workload generators guarantee this; semi-join
+// reduction preserves it).
+
+// weightedDP returns, for the subtree rooted at e, a distributed
+// relation with schema vars(e) ∪ {weightAttr} where each tuple of R(e)
+// carries the number of subtree join combinations consistent with it.
+// Tuples with zero weight are dropped.
+func weightedDP(g *mpc.Group, rels []*mpc.DistRelation, children [][]int, e, weightAttr int) *mpc.DistRelation {
+	base := g.Local(rels[e], func(_ int, f *relation.Relation) *relation.Relation {
+		outSchema := f.Schema().Union(relation.NewSchema(weightAttr))
+		out := relation.New(outSchema)
+		wp := outSchema.Pos(weightAttr)
+		for _, t := range f.Tuples() {
+			nt := make(relation.Tuple, outSchema.Len())
+			for i, a := range outSchema.Attrs() {
+				if i == wp {
+					nt[i] = 1
+				} else {
+					nt[i] = f.Get(t, a)
+				}
+			}
+			out.Add(nt)
+		}
+		return out
+	})
+	cur := base
+	for _, c := range children[e] {
+		childW := weightedDP(g, rels, children, c, weightAttr)
+		common := commonExcept(cur.Schema, childW.Schema, weightAttr)
+		agg := ReduceByKey(g, childW, common, weightAttr)
+		cur = multiplyWeights(g, cur, agg, common, weightAttr)
+	}
+	return cur
+}
+
+// commonExcept returns the shared attributes of two schemas, excluding
+// the synthetic weight attribute.
+func commonExcept(a, b relation.Schema, weightAttr int) []int {
+	var out []int
+	for _, x := range a.Common(b) {
+		if x != weightAttr {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// multiplyWeights joins the per-key aggregated child weights into the
+// parent's weight column: both sides are partitioned by the key, then
+// each parent tuple's weight is multiplied by the matching aggregate
+// (dropped when no aggregate matches — the child has no join partner).
+// With an empty key (Cartesian child), the child total is broadcast.
+func multiplyWeights(g *mpc.Group, parent, agg *mpc.DistRelation, key []int, weightAttr int) *mpc.DistRelation {
+	if len(key) == 0 {
+		// Cartesian component below: multiply all weights by the total.
+		ba := g.Broadcast(agg)
+		out := mpc.NewDist(parent.Schema, g.Size())
+		for i, f := range parent.Frags {
+			var total int64
+			bf := ba.Frags[i]
+			for _, t := range bf.Tuples() {
+				total += bf.Get(t, weightAttr)
+			}
+			nf := relation.New(parent.Schema)
+			if total != 0 {
+				wp := parent.Schema.Pos(weightAttr)
+				for _, t := range f.Tuples() {
+					nt := t.Clone()
+					nt[wp] *= total
+					nf.Add(nt)
+				}
+			}
+			out.Frags[i] = nf
+		}
+		return out
+	}
+	pp := g.HashPartition(parent, key)
+	ap := g.HashPartition(agg, key)
+	out := mpc.NewDist(parent.Schema, g.Size())
+	for i := range pp.Frags {
+		f := pp.Frags[i]
+		af := ap.Frags[i]
+		sums := make(map[string]int64, af.Len())
+		for _, t := range af.Tuples() {
+			sums[af.KeyOn(t, key)] += af.Get(t, weightAttr)
+		}
+		nf := relation.New(parent.Schema)
+		wp := parent.Schema.Pos(weightAttr)
+		for _, t := range f.Tuples() {
+			if s, ok := sums[f.KeyOn(t, key)]; ok && s != 0 {
+				nt := t.Clone()
+				nt[wp] *= s
+				nf.Add(nt)
+			}
+		}
+		out.Frags[i] = nf
+	}
+	return out
+}
+
+// JoinCount computes the exact join size of one join-tree component:
+// |⋈_{e in component} R(e)|. One control round reports the per-server
+// partial sums to the driver.
+func JoinCount(g *mpc.Group, rels []*mpc.DistRelation, children [][]int, root, weightAttr int) int64 {
+	w := weightedDP(g, rels, children, root, weightAttr)
+	control := make([]int, g.Size())
+	if len(control) > 0 {
+		control[0] = g.Size()
+	}
+	g.ChargeControl(control)
+	var total int64
+	for _, f := range w.Frags {
+		for _, t := range f.Tuples() {
+			total += f.Get(t, weightAttr)
+		}
+	}
+	return total
+}
+
+// JoinCountBy computes the join size of one join-tree component grouped
+// by attribute x, which must belong to the root relation's schema. The
+// result has schema (x, weightAttr), hash-partitioned by x — exactly the
+// Step 1 statistics of the generic algorithm ("the result is in forms
+// of (t, w(t)) for each assignment t ∈ dom(x)").
+func JoinCountBy(g *mpc.Group, rels []*mpc.DistRelation, children [][]int, root, x, weightAttr int) *mpc.DistRelation {
+	if !rels[root].Schema.Has(x) {
+		panic("primitives: JoinCountBy root relation lacks the group-by attribute")
+	}
+	w := weightedDP(g, rels, children, root, weightAttr)
+	return ReduceByKey(g, w, []int{x}, weightAttr)
+}

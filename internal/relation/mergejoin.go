@@ -1,0 +1,107 @@
+package relation
+
+import "sort"
+
+// MergeJoin computes the natural join r ⋈ s with a sort-merge strategy:
+// both inputs are sorted on the shared attributes and matching key
+// groups are combined. It is semantically identical to Join (the hash
+// join) — the property tests enforce the equivalence — and is the
+// algorithm of choice once inputs arrive range-partitioned from the
+// distributed sort primitive.
+func (r *Relation) MergeJoin(s *Relation) *Relation {
+	common := r.schema.Common(s.schema)
+	if len(common) == 0 {
+		return r.Join(s) // Cartesian; nothing to merge on
+	}
+	outSchema := r.schema.Union(s.schema)
+	out := New(outSchema)
+
+	rPos := positionsOf(r.schema, common)
+	sPos := positionsOf(s.schema, common)
+
+	rt := append([]Tuple(nil), r.tuples...)
+	st := append([]Tuple(nil), s.tuples...)
+	sort.SliceStable(rt, func(i, j int) bool { return lessOnPositions(rt[i], rt[j], rPos) })
+	sort.SliceStable(st, func(i, j int) bool { return lessOnPositions(st[i], st[j], sPos) })
+
+	rOut := outPositions(r.schema, outSchema)
+	sOut := outPositions(s.schema, outSchema)
+	emit := func(a, b Tuple) {
+		nt := make(Tuple, outSchema.Len())
+		for i, p := range rOut {
+			nt[p] = a[i]
+		}
+		for i, p := range sOut {
+			nt[p] = b[i]
+		}
+		out.tuples = append(out.tuples, nt)
+	}
+
+	i, j := 0, 0
+	for i < len(rt) && j < len(st) {
+		c := compareKeys(rt[i], rPos, st[j], sPos)
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			// Gather both key groups and emit the product.
+			i2 := i
+			for i2 < len(rt) && compareKeys(rt[i2], rPos, st[j], sPos) == 0 {
+				i2++
+			}
+			j2 := j
+			for j2 < len(st) && compareKeys(rt[i], rPos, st[j2], sPos) == 0 {
+				j2++
+			}
+			for a := i; a < i2; a++ {
+				for b := j; b < j2; b++ {
+					emit(rt[a], st[b])
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	return out
+}
+
+func positionsOf(s Schema, attrs []int) []int {
+	out := make([]int, len(attrs))
+	for i, a := range attrs {
+		out[i] = s.Pos(a)
+	}
+	return out
+}
+
+// outPositions maps each position of src to its position in dst.
+func outPositions(src, dst Schema) []int {
+	out := make([]int, src.Len())
+	for i, a := range src.Attrs() {
+		out[i] = dst.Pos(a)
+	}
+	return out
+}
+
+func lessOnPositions(a, b Tuple, pos []int) bool {
+	for _, p := range pos {
+		if a[p] != b[p] {
+			return a[p] < b[p]
+		}
+	}
+	return false
+}
+
+// compareKeys compares a's key at aPos with b's key at bPos.
+func compareKeys(a Tuple, aPos []int, b Tuple, bPos []int) int {
+	for k := range aPos {
+		av, bv := a[aPos[k]], b[bPos[k]]
+		if av != bv {
+			if av < bv {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,94 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMergeJoinBasic(t *testing.T) {
+	r := New(NewSchema(0, 1))
+	r.AddValues(1, 10)
+	r.AddValues(2, 10)
+	r.AddValues(3, 30)
+	s := New(NewSchema(1, 2))
+	s.AddValues(10, 100)
+	s.AddValues(10, 101)
+	s.AddValues(40, 400)
+	if !r.MergeJoin(s).Equal(r.Join(s)) {
+		t.Fatal("merge join disagrees with hash join")
+	}
+}
+
+func TestMergeJoinCartesianFallback(t *testing.T) {
+	r := New(NewSchema(0))
+	r.AddValues(1)
+	r.AddValues(2)
+	s := New(NewSchema(1))
+	s.AddValues(10)
+	if got := r.MergeJoin(s); got.Len() != 2 {
+		t.Fatalf("cartesian fallback len = %d", got.Len())
+	}
+}
+
+// Property: MergeJoin ≡ Join on random inputs with varying schema
+// overlap (0, 1 or 2 shared attributes).
+func TestPropertyMergeEqualsHash(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(12))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		overlap := rng.Intn(3)
+		var rs, ss Schema
+		switch overlap {
+		case 0:
+			rs, ss = NewSchema(0, 1), NewSchema(2, 3)
+		case 1:
+			rs, ss = NewSchema(0, 1), NewSchema(1, 2)
+		default:
+			rs, ss = NewSchema(0, 1, 2), NewSchema(1, 2, 3)
+		}
+		dom := int64(1 + rng.Intn(6))
+		mk := func(s Schema, n int) *Relation {
+			r := New(s)
+			for i := 0; i < n; i++ {
+				t := make(Tuple, s.Len())
+				for j := range t {
+					t[j] = rng.Int63n(dom)
+				}
+				r.Add(t)
+			}
+			return r
+		}
+		r := mk(rs, rng.Intn(30))
+		s := mk(ss, rng.Intn(30))
+		return r.MergeJoin(s).Equal(r.Join(s))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: joins are commutative up to schema (multiset equality).
+func TestPropertyJoinCommutative(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(33))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(s Schema) *Relation {
+			r := New(s)
+			for i := 0; i < rng.Intn(25); i++ {
+				t := make(Tuple, s.Len())
+				for j := range t {
+					t[j] = rng.Int63n(5)
+				}
+				r.Add(t)
+			}
+			return r
+		}
+		r := mk(NewSchema(0, 1))
+		s := mk(NewSchema(1, 2))
+		return r.Join(s).Equal(s.Join(r)) && r.MergeJoin(s).Equal(s.MergeJoin(r))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+package relation
+
+import "fmt"
+
+// This file implements the local (single-server) operators. The MPC
+// algorithms compose them with communication primitives; the sequential
+// oracle in instance.go composes them directly.
+
+// Project returns the projection onto the given attributes (multiset —
+// no dedup; call Dedup for set semantics).
+func (r *Relation) Project(attrs ...int) *Relation {
+	schema := NewSchema(attrs...)
+	out := New(schema)
+	pos := make([]int, schema.Len())
+	for i, a := range schema.Attrs() {
+		p := r.schema.Pos(a)
+		if p < 0 {
+			panic(fmt.Sprintf("relation: Project attribute %d not in schema %v", a, r.schema))
+		}
+		pos[i] = p
+	}
+	for _, t := range r.tuples {
+		nt := make(Tuple, len(pos))
+		for i, p := range pos {
+			nt[i] = t[p]
+		}
+		out.tuples = append(out.tuples, nt)
+	}
+	return out
+}
+
+// SelectEq returns the tuples with value v at attribute a.
+func (r *Relation) SelectEq(a int, v Value) *Relation {
+	p := r.schema.Pos(a)
+	if p < 0 {
+		panic(fmt.Sprintf("relation: SelectEq attribute %d not in schema %v", a, r.schema))
+	}
+	out := New(r.schema)
+	for _, t := range r.tuples {
+		if t[p] == v {
+			out.tuples = append(out.tuples, t)
+		}
+	}
+	return out
+}
+
+// SelectIn returns the tuples whose value at attribute a is in the set.
+func (r *Relation) SelectIn(a int, vs map[Value]bool) *Relation {
+	p := r.schema.Pos(a)
+	if p < 0 {
+		panic(fmt.Sprintf("relation: SelectIn attribute %d not in schema %v", a, r.schema))
+	}
+	out := New(r.schema)
+	for _, t := range r.tuples {
+		if vs[t[p]] {
+			out.tuples = append(out.tuples, t)
+		}
+	}
+	return out
+}
+
+// Dedup returns the relation with duplicate tuples removed.
+func (r *Relation) Dedup() *Relation {
+	out := New(r.schema)
+	seen := make(map[string]bool, len(r.tuples))
+	all := make([]int, r.schema.Len())
+	for i := range all {
+		all[i] = i
+	}
+	for _, t := range r.tuples {
+		k := Key(t, all)
+		if !seen[k] {
+			seen[k] = true
+			out.tuples = append(out.tuples, t)
+		}
+	}
+	return out
+}
+
+// SemiJoin returns the tuples of r that agree with at least one tuple of
+// s on their common attributes (r ⋉ s). With no common attributes it
+// returns r unchanged when s is nonempty and empty otherwise, matching
+// the join semantics.
+func (r *Relation) SemiJoin(s *Relation) *Relation {
+	common := r.schema.Common(s.schema)
+	if len(common) == 0 {
+		if s.Len() == 0 {
+			return New(r.schema)
+		}
+		return r.Clone()
+	}
+	probe := make(map[string]bool, s.Len())
+	for _, t := range s.tuples {
+		probe[s.KeyOn(t, common)] = true
+	}
+	out := New(r.schema)
+	for _, t := range r.tuples {
+		if probe[r.KeyOn(t, common)] {
+			out.tuples = append(out.tuples, t)
+		}
+	}
+	return out
+}
+
+// AntiJoin returns the tuples of r with no partner in s on the common
+// attributes (r ▷ s).
+func (r *Relation) AntiJoin(s *Relation) *Relation {
+	common := r.schema.Common(s.schema)
+	if len(common) == 0 {
+		if s.Len() == 0 {
+			return r.Clone()
+		}
+		return New(r.schema)
+	}
+	probe := make(map[string]bool, s.Len())
+	for _, t := range s.tuples {
+		probe[s.KeyOn(t, common)] = true
+	}
+	out := New(r.schema)
+	for _, t := range r.tuples {
+		if !probe[r.KeyOn(t, common)] {
+			out.tuples = append(out.tuples, t)
+		}
+	}
+	return out
+}
+
+// Join returns the natural join r ⋈ s (hash join on the shared
+// attributes; Cartesian product when none are shared).
+func (r *Relation) Join(s *Relation) *Relation {
+	common := r.schema.Common(s.schema)
+	outSchema := r.schema.Union(s.schema)
+	out := New(outSchema)
+
+	// Precompute output assembly positions.
+	rPos := make([]int, 0, r.schema.Len())
+	rOut := make([]int, 0, r.schema.Len())
+	for i, a := range r.schema.Attrs() {
+		rPos = append(rPos, i)
+		rOut = append(rOut, outSchema.Pos(a))
+	}
+	sPos := make([]int, 0, s.schema.Len())
+	sOut := make([]int, 0, s.schema.Len())
+	for i, a := range s.schema.Attrs() {
+		sPos = append(sPos, i)
+		sOut = append(sOut, outSchema.Pos(a))
+	}
+	emit := func(rt, st Tuple) {
+		nt := make(Tuple, outSchema.Len())
+		for i := range rPos {
+			nt[rOut[i]] = rt[rPos[i]]
+		}
+		for i := range sPos {
+			nt[sOut[i]] = st[sPos[i]]
+		}
+		out.tuples = append(out.tuples, nt)
+	}
+
+	if len(common) == 0 {
+		for _, rt := range r.tuples {
+			for _, st := range s.tuples {
+				emit(rt, st)
+			}
+		}
+		return out
+	}
+	// Build on the smaller side.
+	build, probe := s, r
+	buildIsS := true
+	if r.Len() < s.Len() {
+		build, probe = r, s
+		buildIsS = false
+	}
+	table := make(map[string][]Tuple, build.Len())
+	for _, t := range build.tuples {
+		k := build.KeyOn(t, common)
+		table[k] = append(table[k], t)
+	}
+	for _, t := range probe.tuples {
+		k := probe.KeyOn(t, common)
+		for _, bt := range table[k] {
+			if buildIsS {
+				emit(t, bt)
+			} else {
+				emit(bt, t)
+			}
+		}
+	}
+	return out
+}
+
+// GroupCount returns one tuple (a-value, count) per distinct value of
+// attribute a. The count column is reported on the synthetic attribute
+// id passed as countAttr (callers pick an id outside the query's range).
+func (r *Relation) GroupCount(a, countAttr int) *Relation {
+	p := r.schema.Pos(a)
+	if p < 0 {
+		panic(fmt.Sprintf("relation: GroupCount attribute %d not in schema %v", a, r.schema))
+	}
+	counts := make(map[Value]int64)
+	var order []Value
+	for _, t := range r.tuples {
+		if _, ok := counts[t[p]]; !ok {
+			order = append(order, t[p])
+		}
+		counts[t[p]]++
+	}
+	out := New(NewSchema(a, countAttr))
+	// Schema normalizes ascending; find where each lands.
+	ap := out.schema.Pos(a)
+	cp := out.schema.Pos(countAttr)
+	for _, v := range order {
+		nt := make(Tuple, 2)
+		nt[ap] = v
+		nt[cp] = counts[v]
+		out.tuples = append(out.tuples, nt)
+	}
+	return out
+}
+
+// DistinctValues returns the set of values of attribute a.
+func (r *Relation) DistinctValues(a int) map[Value]bool {
+	p := r.schema.Pos(a)
+	if p < 0 {
+		panic(fmt.Sprintf("relation: DistinctValues attribute %d not in schema %v", a, r.schema))
+	}
+	out := make(map[Value]bool)
+	for _, t := range r.tuples {
+		out[t[p]] = true
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+// Package relation provides the tuple-level data model used by the MPC
+// simulator and algorithms: schemas over query attributes, relations as
+// tuple sets, and the local operators (projection, selection, semi-join,
+// hash join, grouping) that servers run between communication rounds.
+//
+// Values are int64; attribute identities come from the owning
+// hypergraph.Query, so a tuple's meaning is always relative to a schema.
+// Tuples are treated as atomic units per the paper's tuple-based model:
+// operators copy tuples, never invent values.
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a single attribute value.
+type Value = int64
+
+// Tuple is a value assignment, ordered by its Schema's attribute order.
+type Tuple []Value
+
+// Clone returns an independent copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Schema is an ordered list of attribute ids (ascending).
+type Schema struct {
+	attrs []int
+	pos   map[int]int
+}
+
+// NewSchema builds a schema over the given attribute ids; duplicates are
+// collapsed and order normalized ascending.
+func NewSchema(attrs ...int) Schema {
+	sorted := append([]int(nil), attrs...)
+	sort.Ints(sorted)
+	out := make([]int, 0, len(sorted))
+	for i, a := range sorted {
+		if i > 0 && sorted[i-1] == a {
+			continue
+		}
+		out = append(out, a)
+	}
+	pos := make(map[int]int, len(out))
+	for i, a := range out {
+		pos[a] = i
+	}
+	return Schema{attrs: out, pos: pos}
+}
+
+// Attrs returns the attribute ids in schema order.
+func (s Schema) Attrs() []int { return append([]int(nil), s.attrs...) }
+
+// Len returns the arity.
+func (s Schema) Len() int { return len(s.attrs) }
+
+// Pos returns the index of attribute a in tuples of this schema, or -1.
+func (s Schema) Pos(a int) int {
+	if i, ok := s.pos[a]; ok {
+		return i
+	}
+	return -1
+}
+
+// Has reports whether the schema contains attribute a.
+func (s Schema) Has(a int) bool { return s.Pos(a) >= 0 }
+
+// Equal reports whether two schemas list the same attributes.
+func (s Schema) Equal(o Schema) bool {
+	if len(s.attrs) != len(o.attrs) {
+		return false
+	}
+	for i := range s.attrs {
+		if s.attrs[i] != o.attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Common returns the attribute ids shared with o, ascending.
+func (s Schema) Common(o Schema) []int {
+	var out []int
+	for _, a := range s.attrs {
+		if o.Has(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Union returns the schema over the union of attributes.
+func (s Schema) Union(o Schema) Schema {
+	return NewSchema(append(s.Attrs(), o.Attrs()...)...)
+}
+
+// String renders the schema as (a0,a1,...) with raw ids.
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, a := range s.attrs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", a)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Relation is a multiset of tuples under one schema. Operators that
+// require set semantics (semi-join probe sides, dedup) say so.
+type Relation struct {
+	schema Schema
+	tuples []Tuple
+}
+
+// New returns an empty relation with the given schema.
+func New(schema Schema) *Relation {
+	return &Relation{schema: schema}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() Schema { return r.schema }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns the underlying tuple slice; callers must not mutate it.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Add appends a tuple; it must match the schema arity.
+func (r *Relation) Add(t Tuple) {
+	if len(t) != r.schema.Len() {
+		panic(fmt.Sprintf("relation: tuple arity %d != schema arity %d", len(t), r.schema.Len()))
+	}
+	r.tuples = append(r.tuples, t)
+}
+
+// AddValues appends a tuple given values in schema order.
+func (r *Relation) AddValues(vals ...Value) { r.Add(Tuple(vals)) }
+
+// Append bulk-appends tuples from another relation with an equal schema.
+func (r *Relation) Append(o *Relation) {
+	if !r.schema.Equal(o.schema) {
+		panic("relation: Append schema mismatch")
+	}
+	r.tuples = append(r.tuples, o.tuples...)
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	out := New(r.schema)
+	out.tuples = make([]Tuple, len(r.tuples))
+	for i, t := range r.tuples {
+		out.tuples[i] = t.Clone()
+	}
+	return out
+}
+
+// Get returns the value of attribute a in tuple t under this relation's
+// schema.
+func (r *Relation) Get(t Tuple, a int) Value {
+	p := r.schema.Pos(a)
+	if p < 0 {
+		panic(fmt.Sprintf("relation: attribute %d not in schema %v", a, r.schema))
+	}
+	return t[p]
+}
+
+// Key encodes the projection of t onto the given schema positions as a
+// compact string usable as a hash key.
+func Key(t Tuple, positions []int) string {
+	buf := make([]byte, 8*len(positions))
+	for i, p := range positions {
+		binary.BigEndian.PutUint64(buf[8*i:], uint64(t[p]))
+	}
+	return string(buf)
+}
+
+// KeyOn encodes the projection of t onto the named attributes.
+func (r *Relation) KeyOn(t Tuple, attrs []int) string {
+	pos := make([]int, len(attrs))
+	for i, a := range attrs {
+		p := r.schema.Pos(a)
+		if p < 0 {
+			panic(fmt.Sprintf("relation: attribute %d not in schema %v", a, r.schema))
+		}
+		pos[i] = p
+	}
+	return Key(t, pos)
+}
+
+// Sort orders tuples lexicographically in place (for deterministic
+// output and comparisons).
+func (r *Relation) Sort() {
+	sort.Slice(r.tuples, func(i, j int) bool {
+		return lessTuple(r.tuples[i], r.tuples[j])
+	})
+}
+
+func lessTuple(a, b Tuple) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Equal reports whether two relations hold the same multiset of tuples
+// under equal schemas (order-insensitive).
+func (r *Relation) Equal(o *Relation) bool {
+	if !r.schema.Equal(o.schema) || len(r.tuples) != len(o.tuples) {
+		return false
+	}
+	a, b := r.Clone(), o.Clone()
+	a.Sort()
+	b.Sort()
+	for i := range a.tuples {
+		for j := range a.tuples[i] {
+			if a.tuples[i][j] != b.tuples[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders up to 20 tuples for debugging.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Relation%v |%d|", r.schema, len(r.tuples))
+	for i, t := range r.tuples {
+		if i >= 20 {
+			b.WriteString(" ...")
+			break
+		}
+		fmt.Fprintf(&b, " %v", []Value(t))
+	}
+	return b.String()
+}

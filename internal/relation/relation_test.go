@@ -1,0 +1,236 @@
+package relation
+
+import (
+	"testing"
+)
+
+func TestSchemaBasics(t *testing.T) {
+	s := NewSchema(3, 1, 2, 1)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Attrs(); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Attrs = %v", got)
+	}
+	if s.Pos(2) != 1 || s.Pos(9) != -1 {
+		t.Fatal("Pos wrong")
+	}
+	if !s.Has(3) || s.Has(0) {
+		t.Fatal("Has wrong")
+	}
+	if !s.Equal(NewSchema(1, 2, 3)) || s.Equal(NewSchema(1, 2)) {
+		t.Fatal("Equal wrong")
+	}
+	if got := s.Common(NewSchema(2, 3, 4)); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Common = %v", got)
+	}
+	if got := s.Union(NewSchema(0, 4)); got.Len() != 5 {
+		t.Fatalf("Union = %v", got)
+	}
+	if s.String() != "(1,2,3)" {
+		t.Fatalf("String = %s", s.String())
+	}
+}
+
+func TestRelationBasics(t *testing.T) {
+	r := New(NewSchema(0, 1))
+	r.AddValues(1, 10)
+	r.AddValues(2, 20)
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.Get(r.Tuples()[0], 1) != 10 {
+		t.Fatal("Get wrong")
+	}
+	c := r.Clone()
+	c.AddValues(3, 30)
+	if r.Len() != 2 {
+		t.Fatal("Clone aliases")
+	}
+	o := New(NewSchema(0, 1))
+	o.AddValues(2, 20)
+	o.AddValues(1, 10)
+	if !r.Equal(o) {
+		t.Fatal("Equal should be order-insensitive")
+	}
+	o.AddValues(9, 90)
+	if r.Equal(o) {
+		t.Fatal("Equal wrong on different sizes")
+	}
+	r.Append(c)
+	if r.Len() != 5 {
+		t.Fatalf("Append len = %d", r.Len())
+	}
+	if s := r.String(); s == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestArityPanics(t *testing.T) {
+	r := New(NewSchema(0, 1))
+	for name, f := range map[string]func(){
+		"Add":      func() { r.Add(Tuple{1}) },
+		"Append":   func() { r.Append(New(NewSchema(0))) },
+		"Get":      func() { r.AddValues(1, 2); r.Get(r.Tuples()[0], 7) },
+		"Project":  func() { r.Project(9) },
+		"SelectEq": func() { r.SelectEq(9, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestProjectSelectDedup(t *testing.T) {
+	r := New(NewSchema(0, 1))
+	r.AddValues(1, 10)
+	r.AddValues(1, 20)
+	r.AddValues(2, 10)
+	p := r.Project(0)
+	if p.Len() != 3 {
+		t.Fatalf("Project is multiset, len = %d", p.Len())
+	}
+	if d := p.Dedup(); d.Len() != 2 {
+		t.Fatalf("Dedup len = %d", d.Len())
+	}
+	if s := r.SelectEq(0, 1); s.Len() != 2 {
+		t.Fatalf("SelectEq len = %d", s.Len())
+	}
+	if s := r.SelectIn(1, map[Value]bool{10: true}); s.Len() != 2 {
+		t.Fatalf("SelectIn len = %d", s.Len())
+	}
+	dv := r.DistinctValues(0)
+	if len(dv) != 2 || !dv[1] || !dv[2] {
+		t.Fatalf("DistinctValues = %v", dv)
+	}
+}
+
+func TestSemiAndAntiJoin(t *testing.T) {
+	r := New(NewSchema(0, 1))
+	r.AddValues(1, 10)
+	r.AddValues(2, 20)
+	r.AddValues(3, 30)
+	s := New(NewSchema(1, 2))
+	s.AddValues(10, 100)
+	s.AddValues(30, 300)
+
+	sj := r.SemiJoin(s)
+	if sj.Len() != 2 {
+		t.Fatalf("SemiJoin len = %d", sj.Len())
+	}
+	aj := r.AntiJoin(s)
+	if aj.Len() != 1 || aj.Tuples()[0][0] != 2 {
+		t.Fatalf("AntiJoin = %v", aj)
+	}
+	// Disjoint schemas: semi-join keeps everything iff other nonempty.
+	d := New(NewSchema(5))
+	if got := r.SemiJoin(d); got.Len() != 0 {
+		t.Fatal("SemiJoin with empty disjoint relation should be empty")
+	}
+	d.AddValues(1)
+	if got := r.SemiJoin(d); got.Len() != 3 {
+		t.Fatal("SemiJoin with nonempty disjoint relation should keep all")
+	}
+	if got := r.AntiJoin(d); got.Len() != 0 {
+		t.Fatal("AntiJoin with nonempty disjoint relation should be empty")
+	}
+}
+
+func TestJoinNatural(t *testing.T) {
+	// R(A,B) ⋈ S(B,C).
+	r := New(NewSchema(0, 1))
+	r.AddValues(1, 10)
+	r.AddValues(2, 10)
+	r.AddValues(3, 30)
+	s := New(NewSchema(1, 2))
+	s.AddValues(10, 100)
+	s.AddValues(10, 101)
+	s.AddValues(40, 400)
+
+	j := r.Join(s)
+	if j.Len() != 4 { // {1,2}×{100,101}
+		t.Fatalf("Join len = %d", j.Len())
+	}
+	if !j.Schema().Equal(NewSchema(0, 1, 2)) {
+		t.Fatalf("Join schema = %v", j.Schema())
+	}
+	// Check one row end to end.
+	want := New(NewSchema(0, 1, 2))
+	want.AddValues(1, 10, 100)
+	want.AddValues(1, 10, 101)
+	want.AddValues(2, 10, 100)
+	want.AddValues(2, 10, 101)
+	if !j.Equal(want) {
+		t.Fatalf("Join = %v, want %v", j, want)
+	}
+}
+
+func TestJoinCartesian(t *testing.T) {
+	r := New(NewSchema(0))
+	r.AddValues(1)
+	r.AddValues(2)
+	s := New(NewSchema(1))
+	s.AddValues(10)
+	s.AddValues(20)
+	s.AddValues(30)
+	j := r.Join(s)
+	if j.Len() != 6 {
+		t.Fatalf("Cartesian len = %d", j.Len())
+	}
+}
+
+func TestJoinBuildSideSymmetry(t *testing.T) {
+	// Join must be symmetric regardless of which side builds the table.
+	big := New(NewSchema(0, 1))
+	for i := int64(0); i < 50; i++ {
+		big.AddValues(i%5, i)
+	}
+	small := New(NewSchema(0))
+	small.AddValues(1)
+	small.AddValues(3)
+	ab := big.Join(small)
+	ba := small.Join(big)
+	if !ab.Equal(ba) {
+		t.Fatal("join not symmetric")
+	}
+}
+
+func TestGroupCount(t *testing.T) {
+	r := New(NewSchema(0, 1))
+	r.AddValues(1, 10)
+	r.AddValues(1, 11)
+	r.AddValues(2, 20)
+	g := r.GroupCount(0, 99)
+	if g.Len() != 2 {
+		t.Fatalf("GroupCount len = %d", g.Len())
+	}
+	counts := map[Value]Value{}
+	for _, t2 := range g.Tuples() {
+		counts[g.Get(t2, 0)] = g.Get(t2, 99)
+	}
+	if counts[1] != 2 || counts[2] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestKeyEncoding(t *testing.T) {
+	a := Tuple{1, 2, 3}
+	b := Tuple{1, 2, 4}
+	if Key(a, []int{0, 1}) != Key(b, []int{0, 1}) {
+		t.Fatal("equal prefixes must share keys")
+	}
+	if Key(a, []int{0, 2}) == Key(b, []int{0, 2}) {
+		t.Fatal("different values must differ")
+	}
+	// Negative values must not collide with positives.
+	c := Tuple{-1}
+	d := Tuple{1}
+	if Key(c, []int{0}) == Key(d, []int{0}) {
+		t.Fatal("sign collision")
+	}
+}

@@ -1,0 +1,100 @@
+package yannakakis
+
+import (
+	"testing"
+
+	"coverpack/internal/hypergraph"
+	"coverpack/internal/mpc"
+	"coverpack/internal/workload"
+)
+
+func TestRunCountsExactly(t *testing.T) {
+	for _, tc := range []struct {
+		q   *hypergraph.Query
+		n   int
+		dom int64
+	}{
+		{hypergraph.PathJoin(3), 300, 30},
+		{hypergraph.PathJoin(5), 200, 30},
+		{hypergraph.StarJoin(3), 150, 30},
+		{hypergraph.Figure4Join(), 80, 30},
+		{hypergraph.SemiJoinExample(), 200, 250}, // unary relations need dom >= n
+	} {
+		c := mpc.NewCluster(8)
+		in := workload.Uniform(tc.q, tc.n, tc.dom, 11)
+		res, err := Run(c.Root(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := in.JoinSize(); res.Emitted != want {
+			t.Errorf("%s: emitted %d, want %d", tc.q.Name(), res.Emitted, want)
+		}
+		if st := c.Stats(); st.Rounds == 0 || st.MaxLoad == 0 {
+			t.Errorf("%s: no cost recorded: %v", tc.q.Name(), st)
+		}
+	}
+}
+
+func TestRunRejectsCyclic(t *testing.T) {
+	c := mpc.NewCluster(4)
+	in := workload.Matching(hypergraph.TriangleJoin(), 10)
+	if _, err := Run(c.Root(), in); err == nil {
+		t.Fatal("expected error for cyclic query")
+	}
+}
+
+func TestRunDisconnectedQuery(t *testing.T) {
+	q := hypergraph.MustParse("disc", "R1(A,B) R2(C,D)")
+	in := workload.Uniform(q, 20, 10, 3)
+	c := mpc.NewCluster(4)
+	res, err := Run(c.Root(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := in.JoinSize(); res.Emitted != want {
+		t.Fatalf("emitted %d, want %d", res.Emitted, want)
+	}
+}
+
+func TestSemiJoinExampleLinearLoad(t *testing.T) {
+	// The Section 1.3 example: two rounds of semi-joins give linear
+	// load. Check the load stays ~N/p-ish rather than N/sqrt(p): with
+	// N=4000, p=16, N/p=250 vs N/sqrt(p)=1000.
+	q := hypergraph.SemiJoinExample()
+	in := workload.Uniform(q, 4000, 100000, 5)
+	c := mpc.NewCluster(16)
+	res, err := Run(c.Root(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := in.JoinSize(); res.Emitted != want {
+		t.Fatalf("emitted %d, want %d", res.Emitted, want)
+	}
+	// Hash imbalance allows a modest constant over N/p.
+	if load := c.Stats().MaxLoad; load > 4*4000/16 {
+		t.Fatalf("load %d not linear (N/p = %d)", load, 4000/16)
+	}
+}
+
+func TestOutputSensitivity(t *testing.T) {
+	// Yannakakis load includes an OUT/p term: a high-output instance
+	// must show higher load than a low-output one at equal N.
+	q := hypergraph.PathJoin(3)
+	small := workload.Matching(q, 1200) // OUT = N
+	big, err := workload.AGMWorstCase(q, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := mpc.NewCluster(16)
+	if _, err := Run(cs.Root(), small); err != nil {
+		t.Fatal(err)
+	}
+	cb := mpc.NewCluster(16)
+	if _, err := Run(cb.Root(), big); err != nil {
+		t.Fatal(err)
+	}
+	if cb.Stats().MaxLoad <= cs.Stats().MaxLoad {
+		t.Fatalf("worst-case load %d not above matching load %d",
+			cb.Stats().MaxLoad, cs.Stats().MaxLoad)
+	}
+}
