@@ -4,9 +4,12 @@
 //
 //	bounds                                    # the whole catalog
 //	bounds "R1(A,B) R2(B,C) R3(C,A)"          # one ad-hoc query
+//	bounds -json                              # machine-readable output
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
@@ -15,19 +18,31 @@ import (
 )
 
 func main() {
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "QUERY\tCLASS\tρ*\tτ*\tψ*\t1-ROUND\tMULTI-ROUND\tLOWER BOUND")
-	if len(os.Args) > 1 {
-		q, err := coverpack.ParseQuery("cli", os.Args[1])
+	jsonOut := flag.Bool("json", false, "emit the classification as JSON (one array of objects)")
+	flag.Parse()
+
+	var queries []*coverpack.Query
+	if flag.NArg() > 0 {
+		q, err := coverpack.ParseQuery("cli", flag.Arg(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		printRow(w, q)
+		queries = []*coverpack.Query{q}
 	} else {
 		for _, e := range coverpack.Catalog() {
-			printRow(w, e.Query)
+			queries = append(queries, e.Query)
 		}
+	}
+
+	if *jsonOut {
+		printJSON(queries)
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "QUERY\tCLASS\tρ*\tτ*\tψ*\t1-ROUND\tMULTI-ROUND\tLOWER BOUND")
+	for _, q := range queries {
+		printRow(w, q)
 	}
 	w.Flush()
 }
@@ -42,4 +57,59 @@ func printRow(w *tabwriter.Writer, q *coverpack.Query) {
 		q.Name(), a.Class(),
 		a.Rho.RatString(), a.Tau.RatString(), a.Psi.RatString(),
 		a.OneRoundExponent, a.MultiRoundExponent, a.LowerBoundExponent)
+}
+
+// jsonRow is the machine-readable classification of one query, stable
+// for diffing by experiment tooling. The rationals are exact strings
+// ("3/2"); the exponents are the floats the table prints.
+type jsonRow struct {
+	Name                string  `json:"name"`
+	Query               string  `json:"query"`
+	Class               string  `json:"class"`
+	Rho                 string  `json:"rho"`
+	Tau                 string  `json:"tau"`
+	Psi                 string  `json:"psi"`
+	Acyclic             bool    `json:"acyclic"`
+	BergeAcyclic        bool    `json:"berge_acyclic"`
+	RHierarchical       bool    `json:"r_hierarchical"`
+	DegreeTwo           bool    `json:"degree_two"`
+	LoomisWhitney       bool    `json:"loomis_whitney"`
+	EdgePackingProvable bool    `json:"edge_packing_provable"`
+	OneRoundExponent    float64 `json:"one_round_exponent"`
+	MultiRoundExponent  float64 `json:"multi_round_exponent"`
+	LowerBoundExponent  float64 `json:"lower_bound_exponent"`
+	Error               string  `json:"error,omitempty"`
+}
+
+func printJSON(queries []*coverpack.Query) {
+	rows := make([]jsonRow, 0, len(queries))
+	for _, q := range queries {
+		row := jsonRow{Name: q.Name(), Query: q.String()}
+		a, err := coverpack.Analyze(q)
+		if err != nil {
+			row.Error = err.Error()
+			rows = append(rows, row)
+			continue
+		}
+		row.Class = a.Class()
+		row.Rho = a.Rho.RatString()
+		row.Tau = a.Tau.RatString()
+		row.Psi = a.Psi.RatString()
+		row.Acyclic = a.Acyclic
+		row.BergeAcyclic = a.BergeAcyclic
+		row.RHierarchical = a.RHierarchical
+		row.DegreeTwo = a.DegreeTwo
+		row.LoomisWhitney = a.LoomisWhitney
+		row.EdgePackingProvable = a.EdgePackingProvable
+		row.OneRoundExponent = a.OneRoundExponent
+		row.MultiRoundExponent = a.MultiRoundExponent
+		row.LowerBoundExponent = a.LowerBoundExponent
+		rows = append(rows, row)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

@@ -16,15 +16,25 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"coverpack"
 	"coverpack/internal/experiments"
 )
 
 func main() {
 	small := flag.Bool("small", false, "use small experiment sizes")
+	traceFile := flag.String("trace", "", "capture a trace of a representative run to this file")
+	traceFormat := flag.String("trace-format", "chrome", "trace rendering: jsonl, chrome, or heatmap")
 	flag.Parse()
 	sub := "all"
 	if flag.NArg() > 0 {
 		sub = strings.ToLower(flag.Arg(0))
+		// Accept flags after the subcommand too (experiments figure4
+		// -trace out.json): re-parse the remainder.
+		if flag.NArg() > 1 {
+			if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
+				os.Exit(2)
+			}
+		}
 	}
 	cfg := experiments.Config{Small: *small}
 
@@ -70,6 +80,38 @@ func main() {
 	for _, t := range tables {
 		printTable(t)
 	}
+
+	if *traceFile != "" {
+		if err := captureTrace(sub, cfg, *traceFile, *traceFormat); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// captureTrace re-runs one representative instance of the experiment
+// with tracing on, writes the rendered trace, and prints the per-phase
+// load-attribution table.
+func captureTrace(sub string, cfg experiments.Config, file, format string) error {
+	tf, err := coverpack.ParseTraceFormat(format)
+	if err != nil {
+		return err
+	}
+	root, err := experiments.TraceRun(sub, cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := coverpack.WriteTrace(f, root, tf); err != nil {
+		return err
+	}
+	fmt.Printf("trace written to %s (%s)\n\n", file, tf)
+	printTable(experiments.PhaseTableOf(root))
+	return nil
 }
 
 func one(t experiments.Table, err error) ([]experiments.Table, error) {

@@ -16,16 +16,18 @@ import (
 
 func main() {
 	var (
-		queryStr = flag.String("query", "", "query in R(A,B) S(B,C) notation")
-		catalog  = flag.String("catalog", "", "catalog query name (e.g. square, line3, figure4)")
-		algName  = flag.String("alg", "acyclic-optimal", "algorithm: acyclic-optimal | acyclic-conservative | hypercube | hypercube-skew-aware | yannakakis | triangle-multiround | lw-multiround")
-		p        = flag.Int("p", 16, "number of servers")
-		n        = flag.Int("n", 10000, "tuples per relation")
-		dom      = flag.Int64("dom", 0, "attribute domain size (default 5·n)")
-		kind     = flag.String("workload", "uniform", "workload: uniform | zipf | matching | agm | hard | heavyhub")
-		skew     = flag.Float64("skew", 1.1, "zipf skew parameter")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		trace    = flag.Bool("trace", false, "print the acyclic algorithm's decision log")
+		queryStr  = flag.String("query", "", "query in R(A,B) S(B,C) notation")
+		catalog   = flag.String("catalog", "", "catalog query name (e.g. square, line3, figure4)")
+		algName   = flag.String("alg", "acyclic-optimal", "algorithm: acyclic-optimal | acyclic-conservative | hypercube | hypercube-skew-aware | yannakakis | triangle-multiround | lw-multiround")
+		p         = flag.Int("p", 16, "number of servers")
+		n         = flag.Int("n", 10000, "tuples per relation")
+		dom       = flag.Int64("dom", 0, "attribute domain size (default 5·n)")
+		kind      = flag.String("workload", "uniform", "workload: uniform | zipf | matching | agm | hard | heavyhub")
+		skew      = flag.Float64("skew", 1.1, "zipf skew parameter")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		decisions = flag.Bool("decisions", false, "print the acyclic algorithm's decision log")
+		traceFile = flag.String("trace", "", "write an execution trace to this file")
+		traceFmt  = flag.String("trace-format", "chrome", "trace rendering: jsonl, chrome, or heatmap")
 	)
 	flag.Parse()
 
@@ -65,11 +67,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := coverpack.Execute(alg, in, *p)
+	var col *coverpack.TraceCollector
+	var rec coverpack.TraceRecorder
+	if *traceFile != "" {
+		col = coverpack.NewTraceCollector()
+		rec = col
+	}
+	rep, err := coverpack.ExecuteTraced(alg, in, *p, rec)
 	if err != nil {
 		fatal(err)
 	}
-	if *trace {
+	if *decisions {
 		lines, terr := coverpack.TraceRun(alg, in, *p)
 		if terr != nil {
 			fatal(terr)
@@ -77,6 +85,24 @@ func main() {
 		for _, l := range lines {
 			fmt.Println("trace:", l)
 		}
+	}
+	if col != nil {
+		tf, terr := coverpack.ParseTraceFormat(*traceFmt)
+		if terr != nil {
+			fatal(terr)
+		}
+		f, terr := os.Create(*traceFile)
+		if terr != nil {
+			fatal(terr)
+		}
+		if terr := coverpack.WriteTrace(f, col.Root(), tf); terr != nil {
+			f.Close()
+			fatal(terr)
+		}
+		if terr := f.Close(); terr != nil {
+			fatal(terr)
+		}
+		fmt.Printf("trace       %s (%s)\n", *traceFile, tf)
 	}
 	fmt.Printf("query       %s\n", q)
 	fmt.Printf("workload    %s  N=%d  total=%d\n", *kind, in.N(), in.TotalTuples())

@@ -248,7 +248,17 @@ type Report struct {
 // Execute runs one algorithm on a fresh p-server cluster and returns
 // its report.
 func Execute(alg Algorithm, in *Instance, p int) (*Report, error) {
-	c := mpc.NewCluster(p)
+	return ExecuteTraced(alg, in, p, nil)
+}
+
+// ExecuteTraced is Execute with a trace recorder attached to the
+// cluster (typically a *TraceCollector); rec == nil runs untraced.
+func ExecuteTraced(alg Algorithm, in *Instance, p int, rec TraceRecorder) (*Report, error) {
+	var opts []mpc.Option
+	if rec != nil {
+		opts = append(opts, mpc.WithRecorder(rec))
+	}
+	c := mpc.NewCluster(p, opts...)
 	g := c.Root()
 	rep := &Report{Algorithm: alg}
 	switch alg {

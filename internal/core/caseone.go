@@ -17,11 +17,26 @@ func (ex *executor) caseI(g *mpc.Group, alive hypergraph.EdgeSet, vars map[int]h
 	rels map[int]*mpc.DistRelation, ctx []*relation.Relation,
 	tree *hypergraph.JoinTree, origOf []int, depth int) (int64, error) {
 
-	L := int64(ex.L)
 	ch := ex.choose(tree, origOf, vars)
-	x := ch.x
 	sxSet := edgesSet(ch.sx)
-	ex.tracef(depth, "case I: x=%s S^x=%s", ex.q.AttrName(x), ex.q.FormatEdges(sxSet))
+	ex.tracef(depth, "case I: x=%s S^x=%s", ex.q.AttrName(ch.x), ex.q.FormatEdges(sxSet))
+
+	var total int64
+	var err error
+	g.Span("twig "+ex.q.AttrName(ch.x), func() {
+		total, err = ex.caseIPeel(g, alive, vars, rels, ctx, tree, origOf, depth, ch, sxSet)
+	})
+	return total, err
+}
+
+// caseIPeel is the body of caseI, separated so the whole peel of x runs
+// inside one named trace span.
+func (ex *executor) caseIPeel(g *mpc.Group, alive hypergraph.EdgeSet, vars map[int]hypergraph.VarSet,
+	rels map[int]*mpc.DistRelation, ctx []*relation.Relation,
+	tree *hypergraph.JoinTree, origOf []int, depth int, ch choice, sxSet hypergraph.EdgeSet) (int64, error) {
+
+	L := int64(ex.L)
+	x := ch.x
 
 	// Relations containing x (E_x ⊇ S^x).
 	var xHolders []int
@@ -35,59 +50,62 @@ func (ex *executor) caseI(g *mpc.Group, alive hypergraph.EdgeSet, vars map[int]h
 	// (reduce-by-key), then the heavy set H(x, S^x) = values with degree
 	// > L in some relation of S^x.
 	degs := make(map[int]*mpc.DistRelation, len(xHolders))
-	for _, e := range xHolders {
-		degs[e] = primitives.Degrees(g, rels[e], x, ex.cntAttr)
-	}
 	heavySet := make(map[relation.Value]bool)
-	for _, e := range ch.sx {
-		rows := gatherRows(g, degs[e], func(f *relation.Relation, t relation.Tuple) bool {
-			return f.Get(t, ex.cntAttr) > L
-		})
-		for _, t := range rows.Tuples() {
-			heavySet[rows.Get(t, x)] = true
+	var heavyVals []relation.Value
+	var pk primitives.PackResult
+	heavyDeg := make(map[int]map[relation.Value]int64, len(xHolders))
+	groupW := make(map[int]map[int64]int64, len(xHolders))
+	g.Span("statistics", func() {
+		for _, e := range xHolders {
+			degs[e] = primitives.Degrees(g, rels[e], x, ex.cntAttr)
 		}
-	}
-	heavyVals := make([]relation.Value, 0, len(heavySet))
-	for v := range heavySet {
-		heavyVals = append(heavyVals, v)
-	}
-	sort.Slice(heavyVals, func(i, j int) bool { return heavyVals[i] < heavyVals[j] })
-
-	// Light values: total degree over S^x, packed into groups of total
-	// degree ≤ |S^x|·L (each light value has degree ≤ L per relation).
-	merged := mpc.NewDist(relation.NewSchema(x, ex.cntAttr), g.Size())
-	for _, e := range ch.sx {
-		for i, f := range degs[e].Frags {
-			merged.Frags[i].Append(f)
-		}
-	}
-	sums := primitives.ReduceByKey(g, merged, []int{x}, ex.cntAttr)
-	chargeSetBroadcast(g, len(heavySet))
-	lightW := g.Local(sums, func(_ int, f *relation.Relation) *relation.Relation {
-		out := relation.New(f.Schema())
-		for _, t := range f.Tuples() {
-			if !heavySet[f.Get(t, x)] {
-				out.Add(t)
+		for _, e := range ch.sx {
+			rows := gatherRows(g, degs[e], func(f *relation.Relation, t relation.Tuple) bool {
+				return f.Get(t, ex.cntAttr) > L
+			})
+			for _, t := range rows.Tuples() {
+				heavySet[rows.Get(t, x)] = true
 			}
 		}
-		return out
-	})
-	var pk primitives.PackResult
-	if lightW.Len() > 0 {
-		pk = primitives.Pack(g, lightW, x, ex.cntAttr, ex.grpAttr, int64(len(ch.sx))*L)
-	}
-
-	// Per-branch input sizes for allocation and emptiness pruning.
-	heavyDeg := make(map[int]map[relation.Value]int64, len(xHolders))
-	for _, e := range xHolders {
-		heavyDeg[e] = ex.degreesForValues(g, degs[e], x, heavySet)
-	}
-	groupW := make(map[int]map[int64]int64, len(xHolders))
-	if pk.NumGroups > 0 {
-		for _, e := range xHolders {
-			groupW[e] = ex.groupSums(g, degs[e], pk.Assign, x)
+		heavyVals = make([]relation.Value, 0, len(heavySet))
+		for v := range heavySet {
+			heavyVals = append(heavyVals, v)
 		}
-	}
+		sort.Slice(heavyVals, func(i, j int) bool { return heavyVals[i] < heavyVals[j] })
+
+		// Light values: total degree over S^x, packed into groups of total
+		// degree ≤ |S^x|·L (each light value has degree ≤ L per relation).
+		merged := mpc.NewDist(relation.NewSchema(x, ex.cntAttr), g.Size())
+		for _, e := range ch.sx {
+			for i, f := range degs[e].Frags {
+				merged.Frags[i].Append(f)
+			}
+		}
+		sums := primitives.ReduceByKey(g, merged, []int{x}, ex.cntAttr)
+		chargeSetBroadcast(g, len(heavySet))
+		lightW := g.Local(sums, func(_ int, f *relation.Relation) *relation.Relation {
+			out := relation.New(f.Schema())
+			for _, t := range f.Tuples() {
+				if !heavySet[f.Get(t, x)] {
+					out.Add(t)
+				}
+			}
+			return out
+		})
+		if lightW.Len() > 0 {
+			pk = primitives.Pack(g, lightW, x, ex.cntAttr, ex.grpAttr, int64(len(ch.sx))*L)
+		}
+
+		// Per-branch input sizes for allocation and emptiness pruning.
+		for _, e := range xHolders {
+			heavyDeg[e] = ex.degreesForValues(g, degs[e], x, heavySet)
+		}
+		if pk.NumGroups > 0 {
+			for _, e := range xHolders {
+				groupW[e] = ex.groupSums(g, degs[e], pk.Assign, x)
+			}
+		}
+	})
 
 	// Branch planning: heavy branches first (sorted by value), then
 	// light groups in id order; branches whose σ instance is empty on
@@ -142,62 +160,64 @@ func (ex *executor) caseI(g *mpc.Group, alive hypergraph.EdgeSet, vars map[int]h
 		return int64(rels[e].Len())
 	}
 
-	for _, a := range heavyVals {
-		empty := false
-		for _, e := range xHolders {
-			if heavyDeg[e][a] == 0 {
-				empty = true
-				break
-			}
-		}
-		if empty {
-			continue
-		}
-		var servers int
-		switch ex.strat {
-		case Conservative:
-			servers = ceilPos(scHeavy.psiHeavy(alive.Edges(), vars, a, float64(L)))
-		case PathOptimal:
-			a := a
-			servers = allocProduct(heavyCoverOrig, alive.Edges(), func(e int) int64 {
-				s := sizeHeavy(a, e)
-				if s < 1 {
-					s = 1
+	g.Span("allocation", func() {
+		for _, a := range heavyVals {
+			empty := false
+			for _, e := range xHolders {
+				if heavyDeg[e][a] == 0 {
+					empty = true
+					break
 				}
-				return s
-			}, float64(L))
-		}
-		heavyBranch[a] = len(plans)
-		plans = append(plans, plan{heavyVal: a, isHeavy: true, servers: servers})
-	}
-	for j := 0; j < pk.NumGroups; j++ {
-		j64 := int64(j)
-		empty := false
-		for _, e := range xHolders {
-			if groupW[e][j64] == 0 {
-				empty = true
-				break
 			}
+			if empty {
+				continue
+			}
+			var servers int
+			switch ex.strat {
+			case Conservative:
+				servers = ceilPos(scHeavy.psiHeavy(alive.Edges(), vars, a, float64(L)))
+			case PathOptimal:
+				a := a
+				servers = allocProduct(heavyCoverOrig, alive.Edges(), func(e int) int64 {
+					s := sizeHeavy(a, e)
+					if s < 1 {
+						s = 1
+					}
+					return s
+				}, float64(L))
+			}
+			heavyBranch[a] = len(plans)
+			plans = append(plans, plan{heavyVal: a, isHeavy: true, servers: servers})
 		}
-		if empty {
-			continue
-		}
-		var servers int
-		switch ex.strat {
-		case Conservative:
-			servers = ceilPos(scLight.psiGroup(lightAlive.Edges(), vars, j64, float64(L)))
-		case PathOptimal:
-			servers = allocProduct(lightCoverOrig, lightAlive.Edges(), func(e int) int64 {
-				s := sizeGroup(j64, e)
-				if s < 1 {
-					s = 1
+		for j := 0; j < pk.NumGroups; j++ {
+			j64 := int64(j)
+			empty := false
+			for _, e := range xHolders {
+				if groupW[e][j64] == 0 {
+					empty = true
+					break
 				}
-				return s
-			}, float64(L))
+			}
+			if empty {
+				continue
+			}
+			var servers int
+			switch ex.strat {
+			case Conservative:
+				servers = ceilPos(scLight.psiGroup(lightAlive.Edges(), vars, j64, float64(L)))
+			case PathOptimal:
+				servers = allocProduct(lightCoverOrig, lightAlive.Edges(), func(e int) int64 {
+					s := sizeGroup(j64, e)
+					if s < 1 {
+						s = 1
+					}
+					return s
+				}, float64(L))
+			}
+			groupBranch[j64] = len(plans)
+			plans = append(plans, plan{group: j64, servers: servers})
 		}
-		groupBranch[j64] = len(plans)
-		plans = append(plans, plan{group: j64, servers: servers})
-	}
+	})
 	if len(plans) == 0 {
 		ex.tracef(depth, "no viable branches (all empty)")
 		return 0, nil
@@ -215,107 +235,109 @@ func (ex *executor) caseI(g *mpc.Group, alive hypergraph.EdgeSet, vars map[int]h
 	// spread round-robin. Relations without x are copied to every
 	// branch. All movements are single Distribute exchanges.
 	parts := make(map[int][]*mpc.DistRelation, alive.Len())
-	for _, e := range alive.Edges() {
-		if vars[e].Contains(x) {
-			// Heavy tuples route straight from the current layout (the
-			// heavy-value list was already broadcast, so every server
-			// can classify locally). Partitioning them by x would
-			// concentrate a heavy value's entire degree on one hash
-			// destination — exactly the skew the algorithm exists to
-			// avoid. Light tuples are first co-partitioned with the
-			// Pack assignment by x (balanced: every light value has
-			// degree ≤ L) to learn their group ids, then shipped.
-			heavyPart := g.Local(rels[e], func(_ int, f *relation.Relation) *relation.Relation {
-				out := relation.New(f.Schema())
-				for _, t := range f.Tuples() {
-					if heavySet[f.Get(t, x)] {
-						out.Add(t)
-					}
-				}
-				return out
-			})
-			rrH := make([]int, len(plans))
-			hParts := g.Distribute(heavyPart, sizes, func(f *relation.Relation, t relation.Tuple) []mpc.BranchDest {
-				bi, ok := heavyBranch[f.Get(t, x)]
-				if !ok {
-					return nil
-				}
-				d := mpc.BranchDest{Branch: bi, Server: rrH[bi] % sizes[bi]}
-				rrH[bi]++
-				return []mpc.BranchDest{d}
-			})
-
-			lightPart := g.Local(rels[e], func(_ int, f *relation.Relation) *relation.Relation {
-				out := relation.New(f.Schema())
-				for _, t := range f.Tuples() {
-					if !heavySet[f.Get(t, x)] {
-						out.Add(t)
-					}
-				}
-				return out
-			})
-			var lParts []*mpc.DistRelation
-			if assign != nil && lightPart.Len() > 0 {
-				relP := g.HashPartition(lightPart, []int{x})
-				asgP := g.HashPartition(assign, []int{x})
-				groupOf := make(map[*relation.Relation]map[relation.Value]int64)
-				for i := range relP.Frags {
-					m := make(map[relation.Value]int64)
-					af := asgP.Frags[i]
-					for _, t := range af.Tuples() {
-						m[af.Get(t, x)] = af.Get(t, ex.grpAttr)
-					}
-					groupOf[relP.Frags[i]] = m
-				}
-				replicateLight := sxSet.Contains(e)
-				rrL := make([]int, len(plans))
-				lParts = g.Distribute(relP, sizes, func(f *relation.Relation, t relation.Tuple) []mpc.BranchDest {
-					m := groupOf[f]
-					if m == nil {
-						return nil
-					}
-					gid, ok := m[f.Get(t, x)]
-					if !ok {
-						return nil
-					}
-					bi, ok := groupBranch[gid]
-					if !ok {
-						return nil
-					}
-					if replicateLight {
-						out := make([]mpc.BranchDest, sizes[bi])
-						for s := 0; s < sizes[bi]; s++ {
-							out[s] = mpc.BranchDest{Branch: bi, Server: s}
+	g.Span("heavy/light split", func() {
+		for _, e := range alive.Edges() {
+			if vars[e].Contains(x) {
+				// Heavy tuples route straight from the current layout (the
+				// heavy-value list was already broadcast, so every server
+				// can classify locally). Partitioning them by x would
+				// concentrate a heavy value's entire degree on one hash
+				// destination — exactly the skew the algorithm exists to
+				// avoid. Light tuples are first co-partitioned with the
+				// Pack assignment by x (balanced: every light value has
+				// degree ≤ L) to learn their group ids, then shipped.
+				heavyPart := g.Local(rels[e], func(_ int, f *relation.Relation) *relation.Relation {
+					out := relation.New(f.Schema())
+					for _, t := range f.Tuples() {
+						if heavySet[f.Get(t, x)] {
+							out.Add(t)
 						}
-						return out
 					}
-					d := mpc.BranchDest{Branch: bi, Server: rrL[bi] % sizes[bi]}
-					rrL[bi]++
+					return out
+				})
+				rrH := make([]int, len(plans))
+				hParts := g.Distribute(heavyPart, sizes, func(f *relation.Relation, t relation.Tuple) []mpc.BranchDest {
+					bi, ok := heavyBranch[f.Get(t, x)]
+					if !ok {
+						return nil
+					}
+					d := mpc.BranchDest{Branch: bi, Server: rrH[bi] % sizes[bi]}
+					rrH[bi]++
 					return []mpc.BranchDest{d}
 				})
-			}
-			merged := make([]*mpc.DistRelation, len(plans))
-			for bi := range plans {
-				merged[bi] = hParts[bi]
-				if lParts != nil {
-					for s := range merged[bi].Frags {
-						merged[bi].Frags[s].Append(lParts[bi].Frags[s])
+
+				lightPart := g.Local(rels[e], func(_ int, f *relation.Relation) *relation.Relation {
+					out := relation.New(f.Schema())
+					for _, t := range f.Tuples() {
+						if !heavySet[f.Get(t, x)] {
+							out.Add(t)
+						}
+					}
+					return out
+				})
+				var lParts []*mpc.DistRelation
+				if assign != nil && lightPart.Len() > 0 {
+					relP := g.HashPartition(lightPart, []int{x})
+					asgP := g.HashPartition(assign, []int{x})
+					groupOf := make(map[*relation.Relation]map[relation.Value]int64)
+					for i := range relP.Frags {
+						m := make(map[relation.Value]int64)
+						af := asgP.Frags[i]
+						for _, t := range af.Tuples() {
+							m[af.Get(t, x)] = af.Get(t, ex.grpAttr)
+						}
+						groupOf[relP.Frags[i]] = m
+					}
+					replicateLight := sxSet.Contains(e)
+					rrL := make([]int, len(plans))
+					lParts = g.Distribute(relP, sizes, func(f *relation.Relation, t relation.Tuple) []mpc.BranchDest {
+						m := groupOf[f]
+						if m == nil {
+							return nil
+						}
+						gid, ok := m[f.Get(t, x)]
+						if !ok {
+							return nil
+						}
+						bi, ok := groupBranch[gid]
+						if !ok {
+							return nil
+						}
+						if replicateLight {
+							out := make([]mpc.BranchDest, sizes[bi])
+							for s := 0; s < sizes[bi]; s++ {
+								out[s] = mpc.BranchDest{Branch: bi, Server: s}
+							}
+							return out
+						}
+						d := mpc.BranchDest{Branch: bi, Server: rrL[bi] % sizes[bi]}
+						rrL[bi]++
+						return []mpc.BranchDest{d}
+					})
+				}
+				merged := make([]*mpc.DistRelation, len(plans))
+				for bi := range plans {
+					merged[bi] = hParts[bi]
+					if lParts != nil {
+						for s := range merged[bi].Frags {
+							merged[bi].Frags[s].Append(lParts[bi].Frags[s])
+						}
 					}
 				}
+				parts[e] = merged
+			} else {
+				rr := make([]int, len(plans))
+				parts[e] = g.Distribute(rels[e], sizes, func(f *relation.Relation, t relation.Tuple) []mpc.BranchDest {
+					out := make([]mpc.BranchDest, len(plans))
+					for bi := range plans {
+						out[bi] = mpc.BranchDest{Branch: bi, Server: rr[bi] % sizes[bi]}
+						rr[bi]++
+					}
+					return out
+				})
 			}
-			parts[e] = merged
-		} else {
-			rr := make([]int, len(plans))
-			parts[e] = g.Distribute(rels[e], sizes, func(f *relation.Relation, t relation.Tuple) []mpc.BranchDest {
-				out := make([]mpc.BranchDest, len(plans))
-				for bi := range plans {
-					out[bi] = mpc.BranchDest{Branch: bi, Server: rr[bi] % sizes[bi]}
-					rr[bi]++
-				}
-				return out
-			})
 		}
-	}
+	})
 
 	// Recurse into all branches in parallel.
 	counts := make([]int64, len(plans))
@@ -327,9 +349,13 @@ func (ex *executor) caseI(g *mpc.Group, alive hypergraph.EdgeSet, vars map[int]h
 			Servers: pl.servers,
 			Run: func(sub *mpc.Group) {
 				if pl.isHeavy {
-					counts[bi], errs[bi] = ex.heavyBranch(sub, alive, vars, parts, ctx, x, pl.heavyVal, bi, depth)
+					sub.Span("heavy branch", func() {
+						counts[bi], errs[bi] = ex.heavyBranch(sub, alive, vars, parts, ctx, x, pl.heavyVal, bi, depth)
+					})
 				} else {
-					counts[bi], errs[bi] = ex.lightBranch(sub, lightAlive, vars, parts, ctx, ch.sx, bi, depth)
+					sub.Span("light branch", func() {
+						counts[bi], errs[bi] = ex.lightBranch(sub, lightAlive, vars, parts, ctx, ch.sx, bi, depth)
+					})
 				}
 			},
 		}

@@ -100,7 +100,11 @@ func Run(g *mpc.Group, in *relation.Instance, opts Options) (*Result, error) {
 		vars[e] = q.EdgeVars(e).Clone()
 		rels[e] = g.Scatter(in.Rel(e).Dedup())
 	}
-	emitted, err := ex.compute(g, alive, vars, rels, nil, 0)
+	var emitted int64
+	var err error
+	g.Span("core "+opts.Strategy.String(), func() {
+		emitted, err = ex.compute(g, alive, vars, rels, nil, 0)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -167,28 +171,30 @@ func (ex *executor) compute(g *mpc.Group, alive hypergraph.EdgeSet, vars map[int
 
 	// Reduce: absorb relations contained in another (semi-join, then
 	// drop), Case I's first step.
-	reduced := true
-	for reduced {
-		reduced = false
-		es := alive.Edges()
-		for _, i := range es {
-			if !alive.Contains(i) {
-				continue
-			}
-			for _, j := range es {
-				if i == j || !alive.Contains(j) || !vars[i].SubsetOf(vars[j]) {
+	g.Span("semi-join reduce", func() {
+		reduced := true
+		for reduced {
+			reduced = false
+			es := alive.Edges()
+			for _, i := range es {
+				if !alive.Contains(i) {
 					continue
 				}
-				if vars[i].Equal(vars[j]) && i < j {
-					continue // drop the higher index of equal pairs
+				for _, j := range es {
+					if i == j || !alive.Contains(j) || !vars[i].SubsetOf(vars[j]) {
+						continue
+					}
+					if vars[i].Equal(vars[j]) && i < j {
+						continue // drop the higher index of equal pairs
+					}
+					rels[j] = primitives.SemiJoin(g, rels[j], rels[i])
+					alive.Remove(i)
+					reduced = true
+					break
 				}
-				rels[j] = primitives.SemiJoin(g, rels[j], rels[i])
-				alive.Remove(i)
-				reduced = true
-				break
 			}
 		}
-	}
+	})
 	for _, e := range alive.Edges() {
 		if rels[e].Len() == 0 {
 			return 0, nil
@@ -264,21 +270,25 @@ func (ex *executor) caseII(g *mpc.Group, alive hypergraph.EdgeSet, vars map[int]
 	counts := make([]int64, len(comps))
 	errs := make([]error, len(comps))
 	branches := make([]mpc.Branch, 0, len(comps))
-	for i, edges := range compEdges {
-		i, edges := i, edges
-		branchRels := make(map[int]*mpc.DistRelation, len(edges))
-		for _, e := range edges {
-			parts := g.Distribute(rels[e], []int{sizes[i]}, roundRobin(0, sizes[i]))
-			branchRels[e] = parts[0]
+	g.Span("case II split", func() {
+		for i, edges := range compEdges {
+			i, edges := i, edges
+			branchRels := make(map[int]*mpc.DistRelation, len(edges))
+			for _, e := range edges {
+				parts := g.Distribute(rels[e], []int{sizes[i]}, roundRobin(0, sizes[i]))
+				branchRels[e] = parts[0]
+			}
+			branches = append(branches, mpc.Branch{
+				Servers: sizes[i],
+				Run: func(sub *mpc.Group) {
+					sub.Span("component branch", func() {
+						chargeCtx(sub, ctx)
+						counts[i], errs[i] = ex.compute(sub, edgesSet(edges), cloneVars(vars), branchRels, ctx, depth+1)
+					})
+				},
+			})
 		}
-		branches = append(branches, mpc.Branch{
-			Servers: sizes[i],
-			Run: func(sub *mpc.Group) {
-				chargeCtx(sub, ctx)
-				counts[i], errs[i] = ex.compute(sub, edgesSet(edges), cloneVars(vars), branchRels, ctx, depth+1)
-			},
-		})
-	}
+	})
 	g.Parallel(branches)
 	for _, err := range errs {
 		if err != nil {

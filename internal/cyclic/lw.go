@@ -43,25 +43,27 @@ func RunLW(g *mpc.Group, in *relation.Instance) (*Result, error) {
 
 	cntAttr := q.NumAttrs() + 1
 	heavy := make(map[int]map[relation.Value]bool, nAttrs)
-	for _, a := range attrs {
-		heavy[a] = make(map[relation.Value]bool)
-		for _, e := range q.EdgesWith(a).Edges() {
-			d := g.Scatter(in.Rel(e).Dedup())
-			degs := primitives.Degrees(g, d, a, cntAttr)
-			rows := g.Gather(g.Local(degs, func(_ int, f *relation.Relation) *relation.Relation {
-				out := relation.New(f.Schema())
-				for _, t := range f.Tuples() {
-					if f.Get(t, cntAttr) > delta {
-						out.Add(t)
+	g.Span("statistics", func() {
+		for _, a := range attrs {
+			heavy[a] = make(map[relation.Value]bool)
+			for _, e := range q.EdgesWith(a).Edges() {
+				d := g.Scatter(in.Rel(e).Dedup())
+				degs := primitives.Degrees(g, d, a, cntAttr)
+				rows := g.Gather(g.Local(degs, func(_ int, f *relation.Relation) *relation.Relation {
+					out := relation.New(f.Schema())
+					for _, t := range f.Tuples() {
+						if f.Get(t, cntAttr) > delta {
+							out.Add(t)
+						}
 					}
+					return out
+				}))
+				for _, t := range rows.Tuples() {
+					heavy[a][rows.Get(t, a)] = true
 				}
-				return out
-			}))
-			for _, t := range rows.Tuples() {
-				heavy[a][rows.Get(t, a)] = true
 			}
 		}
-	}
+	})
 
 	pos := make(map[int]int, nAttrs)
 	for i, a := range attrs {
@@ -123,7 +125,9 @@ func RunLW(g *mpc.Group, in *relation.Instance) (*Result, error) {
 		if mask == 0 {
 			stratIn := strat
 			addBranch(p, func(sub *mpc.Group) (int64, error) {
-				r, err := hypercube.Run(sub, stratIn)
+				var r *hypercube.Result
+				var err error
+				sub.Span("light stratum", func() { r, err = hypercube.Run(sub, stratIn) })
 				if err != nil {
 					return 0, err
 				}
@@ -158,13 +162,17 @@ func RunLW(g *mpc.Group, in *relation.Instance) (*Result, error) {
 			res.HeavyBranches++
 			branchIn := sub
 			addBranch(perBranch, func(sg *mpc.Group) (int64, error) {
-				units := make([]int, sg.Size())
-				per := branchIn.TotalTuples()/sg.Size() + 1
-				for i := range units {
-					units[i] = per
-				}
-				sg.ChargeControl(units)
-				r, err := core.Run(sg, branchIn, core.Options{Strategy: core.PathOptimal})
+				var r *core.Result
+				var err error
+				sg.Span("heavy stratum", func() {
+					units := make([]int, sg.Size())
+					per := branchIn.TotalTuples()/sg.Size() + 1
+					for i := range units {
+						units[i] = per
+					}
+					sg.ChargeControl(units)
+					r, err = core.Run(sg, branchIn, core.Options{Strategy: core.PathOptimal})
+				})
 				if err != nil {
 					return 0, err
 				}

@@ -57,25 +57,27 @@ func RunTriangle(g *mpc.Group, in *relation.Instance) (*Result, error) {
 	// relation (Degrees + small gather, both charged).
 	cntAttr := q.NumAttrs() + 1
 	heavy := make(map[int]map[relation.Value]bool, 3)
-	for _, a := range attrs {
-		heavy[a] = make(map[relation.Value]bool)
-		for _, e := range q.EdgesWith(a).Edges() {
-			d := g.Scatter(in.Rel(e).Dedup())
-			degs := primitives.Degrees(g, d, a, cntAttr)
-			rows := g.Gather(g.Local(degs, func(_ int, f *relation.Relation) *relation.Relation {
-				out := relation.New(f.Schema())
-				for _, t := range f.Tuples() {
-					if f.Get(t, cntAttr) > delta {
-						out.Add(t)
+	g.Span("statistics", func() {
+		for _, a := range attrs {
+			heavy[a] = make(map[relation.Value]bool)
+			for _, e := range q.EdgesWith(a).Edges() {
+				d := g.Scatter(in.Rel(e).Dedup())
+				degs := primitives.Degrees(g, d, a, cntAttr)
+				rows := g.Gather(g.Local(degs, func(_ int, f *relation.Relation) *relation.Relation {
+					out := relation.New(f.Schema())
+					for _, t := range f.Tuples() {
+						if f.Get(t, cntAttr) > delta {
+							out.Add(t)
+						}
 					}
+					return out
+				}))
+				for _, t := range rows.Tuples() {
+					heavy[a][rows.Get(t, a)] = true
 				}
-				return out
-			}))
-			for _, t := range rows.Tuples() {
-				heavy[a][rows.Get(t, a)] = true
 			}
 		}
-	}
+	})
 
 	// Stratify by the heavy pattern over (attrs[0], attrs[1], attrs[2]).
 	pattern := func(r *relation.Relation, t relation.Tuple) (mask uint8) {
@@ -140,7 +142,9 @@ func RunTriangle(g *mpc.Group, in *relation.Instance) (*Result, error) {
 			// ~N/p^{2/3}.
 			strat := strat
 			errSlots = append(errSlots, addBranch(p, func(sub *mpc.Group) (int64, error) {
-				r, err := hypercube.Run(sub, strat)
+				var r *hypercube.Result
+				var err error
+				sub.Span("light stratum", func() { r, err = hypercube.Run(sub, strat) })
 				if err != nil {
 					return 0, err
 				}
@@ -176,15 +180,19 @@ func RunTriangle(g *mpc.Group, in *relation.Instance) (*Result, error) {
 			res.HeavyBranches++
 			branchIn := sx
 			errSlots = append(errSlots, addBranch(perBranch, func(sub *mpc.Group) (int64, error) {
-				// Charge the shipment of the branch instance onto its
-				// group (one round, spread round-robin).
-				units := make([]int, sub.Size())
-				per := branchIn.TotalTuples()/sub.Size() + 1
-				for i := range units {
-					units[i] = per
-				}
-				sub.ChargeControl(units)
-				r, err := core.Run(sub, branchIn, core.Options{Strategy: core.PathOptimal})
+				var r *core.Result
+				var err error
+				sub.Span("heavy stratum", func() {
+					// Charge the shipment of the branch instance onto its
+					// group (one round, spread round-robin).
+					units := make([]int, sub.Size())
+					per := branchIn.TotalTuples()/sub.Size() + 1
+					for i := range units {
+						units[i] = per
+					}
+					sub.ChargeControl(units)
+					r, err = core.Run(sub, branchIn, core.Options{Strategy: core.PathOptimal})
+				})
 				if err != nil {
 					return 0, err
 				}

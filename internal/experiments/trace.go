@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coverpack"
+	"coverpack/internal/hypergraph"
+	"coverpack/internal/workload"
+)
+
+// TraceRun executes one representative instance of the named experiment
+// with a trace collector attached and returns the collected span tree.
+// Analytic-only experiments (figure1, figure2, figure3, figure5) have
+// no MPC execution to trace and return an error.
+func TraceRun(sub string, cfg Config) (*coverpack.TraceSpan, error) {
+	col := coverpack.NewTraceCollector()
+	var alg coverpack.Algorithm
+	var in *coverpack.Instance
+	p := 16
+	switch sub {
+	case "figure4", "all":
+		// The Example 3.4 hard instance under the conservative run —
+		// the trace that shows the N^7 sub-join dominating one phase.
+		alg = coverpack.AlgAcyclicConservative
+		in = workload.Figure4Hard(cfg.pick(4, 8))
+	case "table1":
+		alg = coverpack.AlgAcyclicOptimal
+		in = workload.StarDualHard(3, cfg.pick(200, 600), 1)
+	case "figure6", "em":
+		var err error
+		in, err = coverpack.AGMWorstCase(hypergraph.Line3Join(), cfg.pick(128, 256))
+		if err != nil {
+			return nil, err
+		}
+		alg = coverpack.AlgAcyclicOptimal
+	case "section13":
+		q := hypergraph.SemiJoinExample()
+		alg = coverpack.AlgAcyclicOptimal
+		in = coverpack.HeavyHub(q, cfg.pick(200, 600))
+	case "figure7":
+		q := hypergraph.TriangleJoin()
+		alg = coverpack.AlgTriangle
+		in = coverpack.Matching(q, cfg.pick(200, 600))
+	case "ablation":
+		q := hypergraph.SemiJoinExample()
+		alg = coverpack.AlgSkewAware
+		in = coverpack.HeavyHub(q, cfg.pick(200, 600))
+	default:
+		return nil, fmt.Errorf("%q has no traced execution (analytic-only or unknown)", sub)
+	}
+	if _, err := coverpack.ExecuteTraced(alg, in, p, col); err != nil {
+		return nil, err
+	}
+	return col.Root(), nil
+}
+
+// PhaseTableOf renders the per-phase load-attribution table of a
+// collected trace as a printable experiments Table.
+func PhaseTableOf(root *coverpack.TraceSpan) Table {
+	rows := coverpack.PhaseTable(root)
+	t := Table{
+		Title:  "Per-phase load attribution",
+		Header: []string{"phase", "exchanges", "units", "max load", "share"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Phase, itoa(r.Exchanges), fmt.Sprintf("%d", r.Units),
+			itoa(r.MaxLoad), fmt.Sprintf("%.1f%%", 100*r.Share),
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"(attributed)", "", "", "", fmt.Sprintf("%.1f%%", 100*coverpack.AttributedShare(rows)),
+	})
+	return t
+}

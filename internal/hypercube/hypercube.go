@@ -272,12 +272,14 @@ func RunWithShares(g *mpc.Group, in *relation.Instance, shares map[int]int, salt
 	}
 	// Route every relation in the single round.
 	local := make([]*mpc.DistRelation, q.NumEdges())
-	for e := 0; e < q.NumEdges(); e++ {
-		d := g.Scatter(in.Rel(e))
-		local[e] = g.Route(d, func(src int, t relation.Tuple) []int {
-			return gr.destinations(d.Frags[src], t, salt)
-		})
-	}
+	g.Span("hypercube route", func() {
+		for e := 0; e < q.NumEdges(); e++ {
+			d := g.Scatter(in.Rel(e))
+			local[e] = g.Route(d, func(src int, t relation.Tuple) []int {
+				return gr.destinations(d.Frags[src], t, salt)
+			})
+		}
+	})
 	// Local joins; emit() is zero-cost per the model.
 	var emitted int64
 	for s := 0; s < gr.size; s++ {

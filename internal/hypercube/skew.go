@@ -3,7 +3,9 @@ package hypercube
 import (
 	"math"
 	"math/big"
+	"strconv"
 
+	"coverpack/internal/hypergraph"
 	"coverpack/internal/mpc"
 	"coverpack/internal/primitives"
 	"coverpack/internal/relation"
@@ -79,7 +81,10 @@ func SkewAware(g *mpc.Group, in *relation.Instance, psi float64) (*SkewAwareResu
 func SkewAwareWithThreshold(g *mpc.Group, in *relation.Instance, threshold int64) (*SkewAwareResult, error) {
 	q := in.Query
 	countAttr := q.NumAttrs() + 1
-	heavy := heavyValues(g, in, threshold, countAttr)
+	var heavy map[int]map[relation.Value]bool
+	g.Span("statistics", func() {
+		heavy = heavyValues(g, in, threshold, countAttr)
+	})
 
 	attrs := q.AllVars().Attrs()
 	pos := make(map[int]int, len(attrs))
@@ -174,41 +179,7 @@ func SkewAwareWithThreshold(g *mpc.Group, in *relation.Instance, threshold int64
 		branches = append(branches, mpc.Branch{
 			Servers: g.Size(),
 			Run: func(sub *mpc.Group) {
-				caps := make(map[int]*big.Rat)
-				domCaps := make(map[int]int64)
-				logp := math.Log(float64(sub.Size()))
-				for _, a := range attrs {
-					var dom int64
-					if pattern&(1<<uint(pos[a])) != 0 {
-						dom = int64(len(heavy[a]))
-					} else {
-						seen := make(map[relation.Value]bool)
-						for _, e := range q.EdgesWith(a).Edges() {
-							r := st.inst.Rel(e)
-							for v := range r.DistinctValues(a) {
-								seen[v] = true
-							}
-						}
-						dom = int64(len(seen))
-					}
-					if dom < 1 {
-						dom = 1
-					}
-					domCaps[a] = dom
-					if logp > 0 {
-						c := math.Log(float64(dom)) / logp
-						if c < 1 {
-							caps[a] = new(big.Rat).SetFloat64(math.Max(0, c))
-						}
-					}
-				}
-				exps, err := ShareExponents(q, caps)
-				if err != nil {
-					panic(err)
-				}
-				shares := Shares(q, sub.Size(), exps, domCaps)
-				r := RunWithShares(sub, st.inst, shares, uint64(pattern)*0x9e37+1)
-				emits[idx] = r.Emitted
+				sub.Span("stratum "+strconv.Itoa(idx), func() { runStratum(sub, q, st.inst, heavy, attrs, pos, pattern, &emits[idx]) })
 			},
 		})
 	}
@@ -218,4 +189,44 @@ func SkewAwareWithThreshold(g *mpc.Group, in *relation.Instance, threshold int64
 	}
 	res.Strata = len(strata)
 	return &res, nil
+}
+
+// runStratum executes one heavy-pattern stratum's capped HyperCube.
+func runStratum(sub *mpc.Group, q *hypergraph.Query, inst *relation.Instance,
+	heavy map[int]map[relation.Value]bool, attrs []int, pos map[int]int, pattern uint64, emitted *int64) {
+	caps := make(map[int]*big.Rat)
+	domCaps := make(map[int]int64)
+	logp := math.Log(float64(sub.Size()))
+	for _, a := range attrs {
+		var dom int64
+		if pattern&(1<<uint(pos[a])) != 0 {
+			dom = int64(len(heavy[a]))
+		} else {
+			seen := make(map[relation.Value]bool)
+			for _, e := range q.EdgesWith(a).Edges() {
+				r := inst.Rel(e)
+				for v := range r.DistinctValues(a) {
+					seen[v] = true
+				}
+			}
+			dom = int64(len(seen))
+		}
+		if dom < 1 {
+			dom = 1
+		}
+		domCaps[a] = dom
+		if logp > 0 {
+			c := math.Log(float64(dom)) / logp
+			if c < 1 {
+				caps[a] = new(big.Rat).SetFloat64(math.Max(0, c))
+			}
+		}
+	}
+	exps, err := ShareExponents(q, caps)
+	if err != nil {
+		panic(err)
+	}
+	shares := Shares(q, sub.Size(), exps, domCaps)
+	r := RunWithShares(sub, inst, shares, uint64(pattern)*0x9e37+1)
+	*emitted = r.Emitted
 }

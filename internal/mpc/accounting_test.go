@@ -1,0 +1,250 @@
+package mpc
+
+import (
+	"testing"
+
+	"coverpack/internal/relation"
+	"coverpack/internal/trace"
+)
+
+// TestSendToGrowingGroup checks SendTo into a larger group: the round's
+// recv vector covers every destination and the load is the balanced
+// share of the target size.
+func TestSendToGrowingGroup(t *testing.T) {
+	c := NewCluster(2)
+	g := c.Root()
+	d := g.Scatter(fill(relation.NewSchema(0), 12))
+	out := g.SendTo(d, 6)
+	if len(out.Frags) != 6 {
+		t.Fatalf("frags = %d", len(out.Frags))
+	}
+	for s, f := range out.Frags {
+		if f.Len() != 2 {
+			t.Fatalf("server %d has %d, want 2", s, f.Len())
+		}
+	}
+	if st := c.Stats(); st.MaxLoad != 2 || st.TotalUnits != 12 {
+		t.Fatalf("stats = %v", st)
+	}
+}
+
+// TestSendToShrinkPaddingLoad checks that shrinking into k < g.size
+// pads recv with zero entries for the unused source slots without
+// inflating MaxLoad.
+func TestSendToShrinkPaddingLoad(t *testing.T) {
+	c := NewCluster(6)
+	g := c.Root()
+	d := g.Scatter(fill(relation.NewSchema(0), 4))
+	out := g.SendTo(d, 2)
+	if out.Len() != 4 {
+		t.Fatalf("tuples = %d", out.Len())
+	}
+	if st := c.Stats(); st.MaxLoad != 2 {
+		t.Fatalf("max load = %d, want 2 (padding must stay zero)", st.MaxLoad)
+	}
+}
+
+// TestDistributeGrowingTotal checks Distribute into branches whose
+// total exceeds the group size.
+func TestDistributeGrowingTotal(t *testing.T) {
+	c := NewCluster(2)
+	g := c.Root()
+	d := g.Scatter(fill(relation.NewSchema(0), 14))
+	rr0, rr1 := 0, 0
+	parts := g.Distribute(d, []int{3, 4}, func(f *relation.Relation, tp relation.Tuple) []BranchDest {
+		if tp[0]%2 == 0 {
+			dst := BranchDest{Branch: 0, Server: rr0 % 3}
+			rr0++
+			return []BranchDest{dst}
+		}
+		dst := BranchDest{Branch: 1, Server: rr1 % 4}
+		rr1++
+		return []BranchDest{dst}
+	})
+	if len(parts[0].Frags) != 3 || len(parts[1].Frags) != 4 {
+		t.Fatalf("branch sizes = %d, %d", len(parts[0].Frags), len(parts[1].Frags))
+	}
+	if parts[0].Len()+parts[1].Len() != 14 {
+		t.Fatalf("tuples lost: %d + %d", parts[0].Len(), parts[1].Len())
+	}
+	// 7 evens over 3 servers round-robin → max 3; 7 odds over 4 → max 2.
+	if st := c.Stats(); st.MaxLoad != 3 || st.TotalUnits != 14 {
+		t.Fatalf("stats = %v", st)
+	}
+}
+
+// TestDistributePaddingNeverInflatesMaxLoad routes everything to a
+// single one-server branch inside a larger group: the recv vector is
+// padded to g.size, and only the real destination carries load.
+func TestDistributePaddingNeverInflatesMaxLoad(t *testing.T) {
+	c := NewCluster(8)
+	g := c.Root()
+	d := g.Scatter(fill(relation.NewSchema(0), 5))
+	parts := g.Distribute(d, []int{1}, func(*relation.Relation, relation.Tuple) []BranchDest {
+		return []BranchDest{{Branch: 0, Server: 0}}
+	})
+	if parts[0].Len() != 5 {
+		t.Fatalf("tuples = %d", parts[0].Len())
+	}
+	if st := c.Stats(); st.MaxLoad != 5 || st.TotalUnits != 5 {
+		t.Fatalf("stats = %v (padding inflated the load?)", st)
+	}
+}
+
+// TestDistributeReplicatedDestinations replicates every tuple to all
+// servers of a branch; each destination is charged once per copy.
+func TestDistributeReplicatedDestinations(t *testing.T) {
+	c := NewCluster(3)
+	g := c.Root()
+	d := g.Scatter(fill(relation.NewSchema(0), 6))
+	parts := g.Distribute(d, []int{4}, func(*relation.Relation, relation.Tuple) []BranchDest {
+		out := make([]BranchDest, 4)
+		for s := range out {
+			out[s] = BranchDest{Branch: 0, Server: s}
+		}
+		return out
+	})
+	for s, f := range parts[0].Frags {
+		if f.Len() != 6 {
+			t.Fatalf("server %d has %d, want 6 (replication)", s, f.Len())
+		}
+	}
+	if st := c.Stats(); st.MaxLoad != 6 || st.TotalUnits != 24 {
+		t.Fatalf("stats = %v", st)
+	}
+}
+
+// TestGatherSelfSendAccounting compares the two conventions: logical
+// accounting charges server 0's own fragment; physical does not.
+func TestGatherSelfSendAccounting(t *testing.T) {
+	build := func(c *Cluster) *DistRelation {
+		g := c.Root()
+		return g.Scatter(fill(relation.NewSchema(0), 8)) // 2 per server on p=4
+	}
+	logical := NewCluster(4)
+	logical.Root().Gather(build(logical))
+	if st := logical.Stats(); st.TotalUnits != 8 || st.MaxLoad != 8 {
+		t.Fatalf("logical stats = %v", st)
+	}
+	physical := NewCluster(4, WithChargeSelfSends(false))
+	physical.Root().Gather(build(physical))
+	if st := physical.Stats(); st.TotalUnits != 6 || st.MaxLoad != 6 {
+		t.Fatalf("physical stats = %v (want 8 - frag0's 2)", st)
+	}
+}
+
+// TestHashPartitionSelfSendAccounting places all tuples on server 0 so
+// the self-sends are exactly the tuples hashed back to server 0.
+func TestHashPartitionSelfSendAccounting(t *testing.T) {
+	run := func(c *Cluster) (selfStay int, st Stats) {
+		g := c.Root()
+		d := NewDist(relation.NewSchema(0), g.Size())
+		for i := 0; i < 32; i++ {
+			d.Frags[0].Add(relation.Tuple{int64(i)})
+		}
+		out := g.HashPartition(d, []int{0})
+		return out.Frags[0].Len(), c.Stats()
+	}
+	_, logical := run(NewCluster(4))
+	if logical.TotalUnits != 32 {
+		t.Fatalf("logical total = %d", logical.TotalUnits)
+	}
+	stay, physical := run(NewCluster(4, WithChargeSelfSends(false)))
+	if stay == 0 {
+		t.Skip("hash sent nothing back to server 0; self-send path unexercised")
+	}
+	if physical.TotalUnits != int64(32-stay) {
+		t.Fatalf("physical total = %d, want %d", physical.TotalUnits, 32-stay)
+	}
+}
+
+// TestLoadObserverPerCluster runs two clusters with observers in
+// parallel — the scenario the global DebugLoad hook could not survive
+// under the race detector.
+func TestLoadObserverPerCluster(t *testing.T) {
+	for _, n := range []int{4, 8} {
+		n := n
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			seen := 0
+			c := NewCluster(2, WithLoadObserver(func(m int) { seen = m }))
+			g := c.Root()
+			g.Broadcast(g.Scatter(fill(relation.NewSchema(0), n)))
+			if seen != n {
+				t.Fatalf("observer saw %d, want %d", seen, n)
+			}
+		})
+	}
+}
+
+func TestSetLoadObserver(t *testing.T) {
+	c := NewCluster(2)
+	g := c.Root()
+	calls := 0
+	c.SetLoadObserver(func(int) { calls++ })
+	g.ChargeControl([]int{1, 1})
+	c.SetLoadObserver(nil)
+	g.ChargeControl([]int{1, 1})
+	if calls != 1 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+// TestRecorderSpanTree checks that the simulator mirrors its structure
+// into an attached collector: phase spans via Group.Span, structural
+// spans for Parallel branches and Subgroups, one event per exchange.
+func TestRecorderSpanTree(t *testing.T) {
+	col := trace.NewCollector()
+	c := NewCluster(4, WithRecorder(col))
+	g := c.Root()
+	d := g.Scatter(fill(relation.NewSchema(0), 8))
+	g.Span("warmup", func() { g.Broadcast(d) })
+	g.Parallel([]Branch{
+		{Servers: 2, Run: func(sub *Group) { sub.ChargeControl([]int{1, 2}) }},
+		{Servers: 1, Run: func(sub *Group) {}},
+	})
+	g.Subgroup(3, func(sub *Group) { sub.ChargeControl([]int{5, 0, 0}) })
+
+	root := col.Root()
+	if len(root.Children) != 4 {
+		t.Fatalf("root children = %d", len(root.Children))
+	}
+	warm := root.Children[0]
+	if warm.Name != "warmup" || warm.Kind != trace.KindPhase || warm.NumEvents() != 1 {
+		t.Fatalf("warmup span = %+v", warm)
+	}
+	if ev := warm.Events[0]; ev.Op != trace.OpBroadcast || ev.Hist.Max != 8 || ev.Hist.Total != 32 {
+		t.Fatalf("broadcast event = %+v", ev)
+	}
+	b0 := root.Children[1]
+	if b0.Name != "branch 0" || b0.Kind != trace.KindParallel || b0.Servers != 2 {
+		t.Fatalf("branch span = %+v", b0)
+	}
+	if b0.NumEvents() != 1 || b0.Events[0].Hist.Max != 2 {
+		t.Fatalf("branch events = %+v", b0.Events)
+	}
+	if b1 := root.Children[2]; b1.Kind != trace.KindParallel || b1.NumEvents() != 0 {
+		t.Fatalf("empty branch span = %+v", b1)
+	}
+	sg := root.Children[3]
+	if sg.Kind != trace.KindSubgroup || sg.Servers != 3 || sg.Events[0].Hist.Max != 5 {
+		t.Fatalf("subgroup span = %+v", sg)
+	}
+}
+
+// TestNopRecorderZeroAlloc pins the hot-path contract: with the default
+// (or an explicit Nop) recorder and no observer, charging a round
+// allocates nothing.
+func TestNopRecorderZeroAlloc(t *testing.T) {
+	for _, c := range []*Cluster{
+		NewCluster(4),
+		NewCluster(4, WithRecorder(trace.NopRecorder{})),
+		NewCluster(4, WithRecorder(nil)),
+	} {
+		g := c.Root()
+		units := []int{1, 2, 3, 4}
+		if n := testing.AllocsPerRun(100, func() { g.ChargeControl(units) }); n != 0 {
+			t.Fatalf("ChargeControl allocates %v per run with recorder off", n)
+		}
+	}
+}

@@ -25,13 +25,37 @@
 // cutoffs) model the free control channel of the paper's lower-bound
 // convention; every tuple and every per-value statistic moved between
 // servers is charged.
+//
+// # Self-send accounting
+//
+// By default the simulator charges every routed tuple, including tuples
+// whose destination is the server already holding them (server 0's own
+// fragment in Gather; same-server hash destinations in HashPartition).
+// This matches the paper's convention of bounding load by the full
+// fan-in of an exchange and keeps the charged loads independent of the
+// initial placement, at the price of overstating real network traffic
+// by an expected 1/size fraction. WithChargeSelfSends(false) switches
+// to physical accounting, where only tuples that actually change
+// servers are charged; the default stays true so historical (golden)
+// numbers are unchanged.
+//
+// # Observability
+//
+// A Cluster optionally carries a trace.Recorder (WithRecorder): every
+// charged exchange is emitted with its operation kind and per-server
+// received-load vector, and Parallel/Subgroup open structural spans so
+// a collected trace mirrors the computation tree. Algorithm layers open
+// named phase spans via Group.Span. The default recorder is off and
+// costs nothing on the hot path.
 package mpc
 
 import (
 	"fmt"
 	"hash/fnv"
+	"strconv"
 
 	"coverpack/internal/relation"
+	"coverpack/internal/trace"
 )
 
 // Stats aggregates the cost of a (sub)computation.
@@ -60,18 +84,69 @@ type Cluster struct {
 	// compare Stats.ServersUsed against Budget.
 	Budget int
 	root   *Group
+
+	// rec receives spans and exchanges; nil when tracing is off so the
+	// hot path pays a single pointer test.
+	rec trace.Recorder
+	// onRound, when non-nil, observes the per-round maximum load of
+	// every exchange (per-cluster successor of the DebugLoad global).
+	onRound func(maxLoad int)
+	// chargeSelfSends selects logical (true, default) or physical
+	// (false) accounting; see the package comment.
+	chargeSelfSends bool
+}
+
+// Option configures a Cluster at construction.
+type Option func(*Cluster)
+
+// WithRecorder attaches a trace recorder to the cluster. Passing nil or
+// a trace.NopRecorder leaves tracing off (the zero-cost default).
+func WithRecorder(r trace.Recorder) Option {
+	return func(c *Cluster) {
+		if _, nop := r.(trace.NopRecorder); nop || r == nil {
+			c.rec = nil
+			return
+		}
+		c.rec = r
+	}
+}
+
+// WithLoadObserver registers a per-cluster callback invoked with the
+// maximum per-server load of every charged exchange. It replaces the
+// deprecated DebugLoad global and is safe under parallel tests because
+// it is cluster-scoped.
+func WithLoadObserver(fn func(maxLoad int)) Option {
+	return func(c *Cluster) { c.onRound = fn }
+}
+
+// WithChargeSelfSends selects the accounting convention for tuples that
+// are routed to the server already holding them (see the package
+// comment). The default, true, charges them.
+func WithChargeSelfSends(charge bool) Option {
+	return func(c *Cluster) { c.chargeSelfSends = charge }
 }
 
 // NewCluster creates a cluster with the given server budget and a root
 // group of exactly that size.
-func NewCluster(p int) *Cluster {
+func NewCluster(p int, opts ...Option) *Cluster {
 	if p <= 0 {
 		panic(fmt.Sprintf("mpc: cluster needs p >= 1, got %d", p))
 	}
-	c := &Cluster{Budget: p}
+	c := &Cluster{Budget: p, chargeSelfSends: true}
+	if DebugLoad != nil {
+		// Deprecated global, snapshotted per cluster; see DebugLoad.
+		c.onRound = DebugLoad
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
 	c.root = &Group{cluster: c, size: p, used: p}
 	return c
 }
+
+// SetLoadObserver replaces the cluster's load observer after
+// construction (nil disables it).
+func (c *Cluster) SetLoadObserver(fn func(maxLoad int)) { c.onRound = fn }
 
 // Root returns the root group (size = Budget).
 func (c *Cluster) Root() *Group { return c.root }
@@ -99,22 +174,29 @@ func (g *Group) Stats() Stats {
 	return s
 }
 
-// DebugLoad, when non-nil, is invoked with the per-round maximum load
-// of every exchange; debugging hook for locating load spikes (pair with
-// runtime/debug.Stack in the callback).
+// DebugLoad, when non-nil at NewCluster time, seeds the cluster's load
+// observer with the per-round maximum load of every exchange.
+//
+// Deprecated: a package-level hook races under parallel tests. Use
+// WithLoadObserver (or Cluster.SetLoadObserver) instead; this variable
+// is only read once, when a cluster is created.
 var DebugLoad func(maxLoad int)
 
-// chargeRound records one communication round with the given
-// per-destination received unit counts.
-func (g *Group) chargeRound(recv []int) {
-	if DebugLoad != nil {
+// chargeRound records one communication round of the given operation
+// kind with the given per-destination received unit counts.
+func (g *Group) chargeRound(op trace.Op, recv []int) {
+	c := g.cluster
+	if c.onRound != nil {
 		m := 0
 		for _, r := range recv {
 			if r > m {
 				m = r
 			}
 		}
-		DebugLoad(m)
+		c.onRound(m)
+	}
+	if c.rec != nil {
+		c.rec.Exchange(op, recv)
 	}
 	g.stats.Rounds++
 	for _, r := range recv {
@@ -126,6 +208,20 @@ func (g *Group) chargeRound(recv []int) {
 	if g.size > g.used {
 		g.used = g.size
 	}
+}
+
+// Span runs fn inside a named phase span when the cluster records
+// traces; with tracing off it is exactly fn(). Phase spans are what the
+// per-phase load attribution table aggregates by.
+func (g *Group) Span(name string, fn func()) {
+	rec := g.cluster.rec
+	if rec == nil {
+		fn()
+		return
+	}
+	rec.BeginSpan(name, trace.KindPhase, g.size)
+	defer rec.EndSpan()
+	fn()
 }
 
 // merge folds a completed child computation into this group as one
@@ -214,14 +310,17 @@ func hashKey(key string) uint64 {
 func (g *Group) HashPartition(d *DistRelation, attrs []int) *DistRelation {
 	out := NewDist(d.Schema, g.size)
 	recv := make([]int, g.size)
-	for _, f := range d.Frags {
+	charge := g.cluster.chargeSelfSends
+	for src, f := range d.Frags {
 		for _, t := range f.Tuples() {
 			dest := int(hashKey(f.KeyOn(t, attrs)) % uint64(g.size))
 			out.Frags[dest].Add(t)
-			recv[dest]++
+			if charge || dest != src || src >= g.size {
+				recv[dest]++
+			}
 		}
 	}
-	g.chargeRound(recv)
+	g.chargeRound(trace.OpHashPartition, recv)
 	return out
 }
 
@@ -235,16 +334,20 @@ func (g *Group) Broadcast(d *DistRelation) *DistRelation {
 		out.Frags[i] = all.Clone()
 		recv[i] = all.Len()
 	}
-	g.chargeRound(recv)
+	g.chargeRound(trace.OpBroadcast, recv)
 	return out
 }
 
 // Gather collects d onto server 0. One round; server 0 receives
-// Len(d) units. Use only for provably small data (statistics).
+// Len(d) units (minus its own fragment under physical accounting; see
+// the package comment). Use only for provably small data (statistics).
 func (g *Group) Gather(d *DistRelation) *relation.Relation {
 	recv := make([]int, g.size)
 	recv[0] = d.Len()
-	g.chargeRound(recv)
+	if !g.cluster.chargeSelfSends && len(d.Frags) > 0 {
+		recv[0] -= d.Frags[0].Len()
+	}
+	g.chargeRound(trace.OpGather, recv)
 	return d.Collect()
 }
 
@@ -264,7 +367,7 @@ func (g *Group) Route(d *DistRelation, route func(src int, t relation.Tuple) []i
 			}
 		}
 	}
-	g.chargeRound(recv)
+	g.chargeRound(trace.OpRoute, recv)
 	return out
 }
 
@@ -300,12 +403,19 @@ func (g *Group) Parallel(branches []Branch) {
 	maxLoad := 0
 	var total int64
 	sumUsed := 0
-	for _, b := range branches {
+	rec := g.cluster.rec
+	for bi, b := range branches {
 		if b.Servers <= 0 {
 			panic(fmt.Sprintf("mpc: parallel branch with %d servers", b.Servers))
 		}
 		sub := &Group{cluster: g.cluster, size: b.Servers}
+		if rec != nil {
+			rec.BeginSpan("branch "+strconv.Itoa(bi), trace.KindParallel, b.Servers)
+		}
 		b.Run(sub)
+		if rec != nil {
+			rec.EndSpan()
+		}
 		s := sub.Stats()
 		if s.Rounds > maxRounds {
 			maxRounds = s.Rounds
@@ -333,7 +443,14 @@ func (g *Group) Subgroup(servers int, run func(sub *Group)) {
 		panic(fmt.Sprintf("mpc: subgroup with %d servers", servers))
 	}
 	sub := &Group{cluster: g.cluster, size: servers}
+	rec := g.cluster.rec
+	if rec != nil {
+		rec.BeginSpan("subgroup "+strconv.Itoa(servers), trace.KindSubgroup, servers)
+	}
 	run(sub)
+	if rec != nil {
+		rec.EndSpan()
+	}
 	g.absorbSequential(sub)
 }
 
@@ -357,7 +474,7 @@ func (g *Group) SendTo(d *DistRelation, k int) *DistRelation {
 			i++
 		}
 	}
-	g.chargeRound(recv)
+	g.chargeRound(trace.OpSendTo, recv)
 	return out
 }
 
@@ -404,7 +521,7 @@ func (g *Group) Distribute(d *DistRelation, sizes []int, route func(src *relatio
 			}
 		}
 	}
-	g.chargeRound(recv)
+	g.chargeRound(trace.OpDistribute, recv)
 	return out
 }
 
@@ -424,5 +541,5 @@ func (g *Group) DeclareServers(n int) {
 // offsets, group descriptors) where server i receives units[i] integers.
 // The paper's upper bounds count such integers as one unit each.
 func (g *Group) ChargeControl(units []int) {
-	g.chargeRound(units)
+	g.chargeRound(trace.OpChargeControl, units)
 }

@@ -41,22 +41,26 @@ func ReduceByKey(g *mpc.Group, d *mpc.DistRelation, keyAttrs []int, valAttr int)
 			return localAggregate(f, keyAttrs, valAttr, outSchema)
 		})
 	}
-	pre := agg(d)
-	p := g.Size()
-	if p >= 4 {
-		c := 1
-		for c*c < p {
-			c++
+	var out *mpc.DistRelation
+	g.Span("reduce-by-key", func() {
+		pre := agg(d)
+		p := g.Size()
+		if p >= 4 {
+			c := 1
+			for c*c < p {
+				c++
+			}
+			mid := g.Route(pre, func(src int, t relation.Tuple) []int {
+				f := pre.Frags[src]
+				base := int(keyHash(f.KeyOn(t, keyAttrs)) % uint64(p))
+				return []int{(base + src%c) % p}
+			})
+			pre = agg(mid)
 		}
-		mid := g.Route(pre, func(src int, t relation.Tuple) []int {
-			f := pre.Frags[src]
-			base := int(keyHash(f.KeyOn(t, keyAttrs)) % uint64(p))
-			return []int{(base + src%c) % p}
-		})
-		pre = agg(mid)
-	}
-	parted := g.HashPartition(pre, keyAttrs)
-	return agg(parted)
+		parted := g.HashPartition(pre, keyAttrs)
+		out = agg(parted)
+	})
+	return out
 }
 
 // keyHash is a deterministic FNV-1a hash of an encoded key.
@@ -145,24 +149,26 @@ func SemiJoin(g *mpc.Group, r, s *mpc.DistRelation) *mpc.DistRelation {
 func SemiJoinReduceTree(g *mpc.Group, rels []*mpc.DistRelation, children [][]int, roots []int) []*mpc.DistRelation {
 	out := make([]*mpc.DistRelation, len(rels))
 	copy(out, rels)
-	var up func(e int)
-	up = func(e int) {
-		for _, c := range children[e] {
-			up(c)
-			out[e] = SemiJoin(g, out[e], out[c])
+	g.Span("semi-join reduce", func() {
+		var up func(e int)
+		up = func(e int) {
+			for _, c := range children[e] {
+				up(c)
+				out[e] = SemiJoin(g, out[e], out[c])
+			}
 		}
-	}
-	var down func(e int)
-	down = func(e int) {
-		for _, c := range children[e] {
-			out[c] = SemiJoin(g, out[c], out[e])
-			down(c)
+		var down func(e int)
+		down = func(e int) {
+			for _, c := range children[e] {
+				out[c] = SemiJoin(g, out[c], out[e])
+				down(c)
+			}
 		}
-	}
-	for _, r := range roots {
-		up(r)
-		down(r)
-	}
+		for _, r := range roots {
+			up(r)
+			down(r)
+		}
+	})
 	return out
 }
 
@@ -228,7 +234,7 @@ func Pack(g *mpc.Group, weights *mpc.DistRelation, valueAttr, weightAttr, groupA
 	for i := range control {
 		control[i] = 1
 	}
-	g.ChargeControl(control)
+	g.Span("pack", func() { g.ChargeControl(control) })
 	offsets := make([]int, len(weights.Frags))
 	total := 0
 	for s, b := range binsPerServer {

@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Format names one of the supported trace renderings.
+type Format string
+
+const (
+	// FormatJSONL renders one JSON object per line: span openings and
+	// exchanges, in execution order.
+	FormatJSONL Format = "jsonl"
+	// FormatChrome renders Chrome trace-event JSON, loadable in
+	// about:tracing and https://ui.perfetto.dev.
+	FormatChrome Format = "chrome"
+	// FormatHeatmap renders an ASCII per-round × per-server load heatmap.
+	FormatHeatmap Format = "heatmap"
+)
+
+// ParseFormat validates a -trace-format flag value.
+func ParseFormat(s string) (Format, error) {
+	switch Format(strings.ToLower(s)) {
+	case FormatJSONL:
+		return FormatJSONL, nil
+	case FormatChrome:
+		return FormatChrome, nil
+	case FormatHeatmap:
+		return FormatHeatmap, nil
+	}
+	return "", fmt.Errorf("trace: unknown format %q (want jsonl, chrome or heatmap)", s)
+}
+
+// Write renders the span tree in the given format.
+func Write(w io.Writer, root *Span, format Format) error {
+	switch format {
+	case FormatJSONL:
+		return WriteJSONL(w, root)
+	case FormatChrome:
+		return WriteChrome(w, root)
+	case FormatHeatmap:
+		return WriteHeatmap(w, root)
+	}
+	return fmt.Errorf("trace: unknown format %q", format)
+}
+
+// jsonlLine is one JSONL record: either a span opening or an exchange.
+type jsonlLine struct {
+	Type    string   `json:"type"` // "span" | "exchange"
+	Path    string   `json:"path"` // "/"-joined span names from the root
+	Kind    string   `json:"kind,omitempty"`
+	Servers int      `json:"servers,omitempty"`
+	Start   int      `json:"start,omitempty"`
+	End     int      `json:"end,omitempty"`
+	Op      string   `json:"op,omitempty"`
+	Seq     *int     `json:"seq,omitempty"`
+	Hist    LoadHist `json:"hist,omitempty"`
+}
+
+// WriteJSONL renders the trace as JSON Lines: a "span" record per span
+// (preorder) and an "exchange" record per event, each carrying the full
+// span path so lines are self-describing under grep/jq.
+func WriteJSONL(w io.Writer, root *Span) error {
+	enc := json.NewEncoder(w)
+	var walk func(s *Span, path string) error
+	walk = func(s *Span, path string) error {
+		if path == "" {
+			path = s.Name
+		} else {
+			path = path + "/" + s.Name
+		}
+		if err := enc.Encode(jsonlLine{
+			Type: "span", Path: path, Kind: s.Kind.String(),
+			Servers: s.Servers, Start: s.Start, End: s.End,
+		}); err != nil {
+			return err
+		}
+		for _, ev := range s.Events {
+			seq := ev.Seq
+			if err := enc.Encode(jsonlLine{
+				Type: "exchange", Path: path, Op: ev.Op.String(), Seq: &seq, Hist: ev.Hist,
+			}); err != nil {
+				return err
+			}
+		}
+		for _, c := range s.Children {
+			if err := walk(c, path); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(root, "")
+}
+
+// chromeEvent is one Chrome trace-event record ("X" complete events;
+// nesting comes from duration containment, which Perfetto resolves).
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat"`
+	Ph   string                 `json:"ph"`
+	Ts   int64                  `json:"ts"`
+	Dur  int64                  `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// tickUS is the Chrome-trace duration of one timeline tick (one
+// exchange) in microseconds; the timeline is logical, not wall-clock.
+const tickUS = 1000
+
+// WriteChrome renders the trace as Chrome trace-event JSON: every span
+// is a complete ("X") slice covering its timeline extent, every exchange
+// a nested slice of slightly shorter duration carrying its histogram as
+// args, plus a "max load" counter track giving the per-round load
+// profile at a glance.
+func WriteChrome(w io.Writer, root *Span) error {
+	var events []chromeEvent
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		dur := int64(s.End-s.Start) * tickUS
+		if dur <= 0 {
+			dur = 1 // zero-width spans still render
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Cat: s.Kind.String(), Ph: "X",
+			Ts: int64(s.Start) * tickUS, Dur: dur, Pid: 1, Tid: 1,
+			Args: map[string]interface{}{"servers": s.Servers},
+		})
+		for _, ev := range s.Events {
+			events = append(events, chromeEvent{
+				Name: ev.Op.String(), Cat: "exchange", Ph: "X",
+				Ts: int64(ev.Seq)*tickUS + 1, Dur: tickUS - 2, Pid: 1, Tid: 1,
+				Args: map[string]interface{}{
+					"servers": ev.Hist.Servers,
+					"max":     ev.Hist.Max,
+					"mean":    ev.Hist.Mean,
+					"p50":     ev.Hist.P50,
+					"p99":     ev.Hist.P99,
+					"total":   ev.Hist.Total,
+					"skew":    ev.Hist.Skew,
+				},
+			})
+			events = append(events, chromeEvent{
+				Name: "max load", Ph: "C",
+				Ts: int64(ev.Seq) * tickUS, Pid: 1, Tid: 0,
+				Args: map[string]interface{}{"max": ev.Hist.Max},
+			})
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]interface{}{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}
+
+// heatScale maps a load fraction (load/maxLoad) to a display rune.
+var heatScale = []byte(" .:-=+*#%@")
+
+// WriteHeatmap renders the trace as an ASCII heatmap: one row per
+// exchange (the round timeline, top to bottom), one column per server
+// (bucketed when a round addressed more than the display width), with
+// darkness proportional to received load relative to the trace-wide
+// maximum. Each row is annotated with the exchange's op and max load.
+func WriteHeatmap(w io.Writer, root *Span) error {
+	type row struct {
+		ev   Event
+		path string
+	}
+	var rows []row
+	var collect func(s *Span, path string)
+	collect = func(s *Span, path string) {
+		if path == "" {
+			path = s.Name
+		} else {
+			path = path + "/" + s.Name
+		}
+		for _, ev := range s.Events {
+			rows = append(rows, row{ev: ev, path: path})
+		}
+		for _, c := range s.Children {
+			collect(c, path)
+		}
+	}
+	collect(root, "")
+	// Events interleave across spans; order by timeline position.
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j].ev.Seq < rows[j-1].ev.Seq; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+	const width = 64
+	maxLoad := root.MaxLoad()
+	if _, err := fmt.Fprintf(w, "per-round × per-server load heatmap (trace max load = %d, %d exchanges)\n", maxLoad, len(rows)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%5s  %-64s  %-13s %9s  %s\n", "round", "servers 0..n (bucketed)", "op", "max", "span"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		cells := bucketTo(r.ev.Loads, width)
+		line := make([]byte, len(cells))
+		for i, v := range cells {
+			line[i] = heatChar(v, maxLoad)
+		}
+		if _, err := fmt.Fprintf(w, "%5d  %-64s  %-13s %9d  %s\n",
+			r.ev.Seq, string(line), r.ev.Op, r.ev.Hist.Max, r.path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// heatChar picks the display rune for one cell.
+func heatChar(v, max int) byte {
+	if v <= 0 || max <= 0 {
+		return heatScale[0]
+	}
+	i := 1 + v*(len(heatScale)-2)/max
+	if i >= len(heatScale) {
+		i = len(heatScale) - 1
+	}
+	return heatScale[i]
+}
+
+// bucketTo compresses (or passes through) a load vector to at most
+// width cells, keeping per-bucket maxima.
+func bucketTo(loads []int, width int) []int {
+	if len(loads) <= width {
+		return loads
+	}
+	out := make([]int, width)
+	for i, v := range loads {
+		b := i * width / len(loads)
+		if v > out[b] {
+			out[b] = v
+		}
+	}
+	return out
+}

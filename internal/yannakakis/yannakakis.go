@@ -65,16 +65,18 @@ func Run(g *mpc.Group, in *relation.Instance) (*Result, error) {
 	}
 
 	var emitted int64
-	for _, root := range tree.Roots() {
-		full := joinUp(root)
-		// Roots of distinct components multiply; emit the Cartesian
-		// combination count without materializing across components.
-		if emitted == 0 {
-			emitted = int64(full.Len())
-		} else {
-			emitted *= int64(full.Len())
+	g.Span("join up", func() {
+		for _, root := range tree.Roots() {
+			full := joinUp(root)
+			// Roots of distinct components multiply; emit the Cartesian
+			// combination count without materializing across components.
+			if emitted == 0 {
+				emitted = int64(full.Len())
+			} else {
+				emitted *= int64(full.Len())
+			}
 		}
-	}
+	})
 	return &Result{Emitted: emitted}, nil
 }
 
