@@ -13,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"coverpack"
 	"coverpack/internal/experiments"
@@ -24,6 +26,7 @@ func main() {
 	small := flag.Bool("small", false, "use small experiment sizes")
 	traceFile := flag.String("trace", "", "capture a trace of a representative run to this file")
 	traceFormat := flag.String("trace-format", "chrome", "trace rendering: jsonl, chrome, or heatmap")
+	workers := flag.Int("workers", 0, "goroutine workers for the simulator (0 = GOMAXPROCS, 1 = sequential); tables are identical for every setting")
 	flag.Parse()
 	sub := "all"
 	if flag.NArg() > 0 {
@@ -36,8 +39,13 @@ func main() {
 			}
 		}
 	}
-	cfg := experiments.Config{Small: *small}
+	nw := *workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	cfg := experiments.Config{Small: *small, Workers: nw}
 
+	start := time.Now()
 	var tables []experiments.Table
 	var err error
 	switch sub {
@@ -77,9 +85,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	elapsed := time.Since(start)
 	for _, t := range tables {
 		printTable(t)
 	}
+	fmt.Printf("wall-clock %s (workers=%d of %d CPUs)\n", elapsed.Round(time.Millisecond), nw, runtime.NumCPU())
 
 	if *traceFile != "" {
 		if err := captureTrace(sub, cfg, *traceFile, *traceFormat); err != nil {

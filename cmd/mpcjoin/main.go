@@ -9,7 +9,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"coverpack"
 )
@@ -28,6 +30,7 @@ func main() {
 		decisions = flag.Bool("decisions", false, "print the acyclic algorithm's decision log")
 		traceFile = flag.String("trace", "", "write an execution trace to this file")
 		traceFmt  = flag.String("trace-format", "chrome", "trace rendering: jsonl, chrome, or heatmap")
+		workers   = flag.Int("workers", 0, "goroutine workers for the simulator (0 = GOMAXPROCS, 1 = sequential); results are identical for every setting")
 	)
 	flag.Parse()
 
@@ -73,7 +76,13 @@ func main() {
 		col = coverpack.NewTraceCollector()
 		rec = col
 	}
-	rep, err := coverpack.ExecuteTraced(alg, in, *p, rec)
+	nw := *workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	rep, err := coverpack.ExecuteOpts(alg, in, *p, coverpack.ExecOptions{Workers: nw, Recorder: rec})
+	elapsed := time.Since(start)
 	if err != nil {
 		fatal(err)
 	}
@@ -113,6 +122,7 @@ func main() {
 	fmt.Println()
 	fmt.Printf("emitted     %d join results\n", rep.Emitted)
 	fmt.Printf("cost        %s\n", rep.Stats)
+	fmt.Printf("wall-clock  %s  (workers=%d of %d CPUs)\n", elapsed.Round(time.Microsecond), nw, runtime.NumCPU())
 }
 
 func pickQuery(queryStr, catalog string) (*coverpack.Query, error) {

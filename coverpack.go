@@ -245,18 +245,40 @@ type Report struct {
 	L int
 }
 
+// ExecOptions configures an execution beyond the algorithm and server
+// budget.
+type ExecOptions struct {
+	// Workers sets the goroutine worker-pool size of the simulator's
+	// parallel engine: 0 or 1 runs sequentially, n > 1 uses n workers,
+	// and a negative value selects runtime.GOMAXPROCS(0). Results —
+	// emitted count, Stats, traces — are byte-identical for every
+	// setting (see internal/mpc's parallel-execution contract).
+	Workers int
+	// Recorder receives the execution's trace events (typically a
+	// *TraceCollector); nil runs untraced.
+	Recorder TraceRecorder
+}
+
 // Execute runs one algorithm on a fresh p-server cluster and returns
 // its report.
 func Execute(alg Algorithm, in *Instance, p int) (*Report, error) {
-	return ExecuteTraced(alg, in, p, nil)
+	return ExecuteOpts(alg, in, p, ExecOptions{})
 }
 
 // ExecuteTraced is Execute with a trace recorder attached to the
 // cluster (typically a *TraceCollector); rec == nil runs untraced.
 func ExecuteTraced(alg Algorithm, in *Instance, p int, rec TraceRecorder) (*Report, error) {
+	return ExecuteOpts(alg, in, p, ExecOptions{Recorder: rec})
+}
+
+// ExecuteOpts is Execute with full options.
+func ExecuteOpts(alg Algorithm, in *Instance, p int, eo ExecOptions) (*Report, error) {
 	var opts []mpc.Option
-	if rec != nil {
-		opts = append(opts, mpc.WithRecorder(rec))
+	if eo.Recorder != nil {
+		opts = append(opts, mpc.WithRecorder(eo.Recorder))
+	}
+	if eo.Workers != 0 && eo.Workers != 1 {
+		opts = append(opts, mpc.WithWorkers(eo.Workers))
 	}
 	c := mpc.NewCluster(p, opts...)
 	g := c.Root()
@@ -341,9 +363,16 @@ func TraceRun(alg Algorithm, in *Instance, p int) ([]string, error) {
 // — the estimator every Table 1 experiment compares against ρ*, τ* or
 // ψ*.
 func LoadScaling(alg Algorithm, in *Instance, ps []int) (em.LoadProfile, float64, error) {
+	return LoadScalingOpts(alg, in, ps, ExecOptions{})
+}
+
+// LoadScalingOpts is LoadScaling with full execution options (the
+// Recorder field is ignored: each server count is a separate cluster).
+func LoadScalingOpts(alg Algorithm, in *Instance, ps []int, eo ExecOptions) (em.LoadProfile, float64, error) {
+	eo.Recorder = nil
 	profile := em.LoadProfile{N: in.N(), Points: make(map[int]int, len(ps))}
 	for _, p := range ps {
-		rep, err := Execute(alg, in, p)
+		rep, err := ExecuteOpts(alg, in, p, eo)
 		if err != nil {
 			return profile, 0, err
 		}

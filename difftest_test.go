@@ -1,0 +1,142 @@
+package coverpack_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"coverpack"
+	"coverpack/internal/hypergraph"
+)
+
+// The differential determinism oracle: every catalog query × every
+// algorithm that accepts it, executed under the sequential engine and
+// under several goroutine-parallel configurations, must produce the
+// same report (emitted count, Stats, chosen L) and the same trace —
+// span tree and per-phase load attribution — bit for bit.
+
+var oracleAlgorithms = []coverpack.Algorithm{
+	coverpack.AlgAcyclicOptimal,
+	coverpack.AlgAcyclicConservative,
+	coverpack.AlgHyperCube,
+	coverpack.AlgSkewAware,
+	coverpack.AlgYannakakis,
+	coverpack.AlgTriangle,
+	coverpack.AlgLoomisWhitney,
+}
+
+// oracleWorkerSet returns the parallel worker counts to compare against
+// the sequential engine: a fixed 4 plus the machine's CPU count.
+func oracleWorkerSet() []int {
+	ws := []int{4}
+	if n := runtime.NumCPU(); n > 1 && n != 4 {
+		ws = append(ws, n)
+	}
+	return ws
+}
+
+// tracedRun executes one configuration with a collector attached and
+// returns the report plus both trace artifacts.
+func tracedRun(t *testing.T, alg coverpack.Algorithm, in *coverpack.Instance, p, workers int) (*coverpack.Report, *coverpack.TraceSpan, []coverpack.PhaseRow, error) {
+	t.Helper()
+	col := coverpack.NewTraceCollector()
+	rep, err := coverpack.ExecuteOpts(alg, in, p, coverpack.ExecOptions{Workers: workers, Recorder: col})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	root := col.Root()
+	return rep, root, coverpack.PhaseTable(root), nil
+}
+
+// assertRunsAgree compares a parallel run against the sequential
+// reference across every observable.
+func assertRunsAgree(t *testing.T, label string,
+	seqRep *coverpack.Report, seqRoot *coverpack.TraceSpan, seqPhases []coverpack.PhaseRow,
+	parRep *coverpack.Report, parRoot *coverpack.TraceSpan, parPhases []coverpack.PhaseRow) {
+	t.Helper()
+	if *seqRep != *parRep {
+		t.Errorf("%s: report diverged\n  sequential: emitted=%d stats={%v} L=%d\n  parallel:   emitted=%d stats={%v} L=%d",
+			label, seqRep.Emitted, seqRep.Stats, seqRep.L, parRep.Emitted, parRep.Stats, parRep.L)
+	}
+	if !reflect.DeepEqual(seqPhases, parPhases) {
+		t.Errorf("%s: per-phase load attribution diverged:\n  sequential: %+v\n  parallel:   %+v", label, seqPhases, parPhases)
+	}
+	if !reflect.DeepEqual(seqRoot, parRoot) {
+		t.Errorf("%s: trace span trees diverged (events, order, or structure)", label)
+	}
+}
+
+// runOracle exercises every algorithm that accepts the instance's query
+// under each parallel configuration.
+func runOracle(t *testing.T, in *coverpack.Instance, p int) {
+	for _, alg := range oracleAlgorithms {
+		seqRep, seqRoot, seqPhases, err := tracedRun(t, alg, in, p, 1)
+		if err != nil {
+			// The algorithm rejects this query class (e.g. AlgTriangle on a
+			// star); nothing to compare.
+			continue
+		}
+		for _, w := range oracleWorkerSet() {
+			parRep, parRoot, parPhases, err := tracedRun(t, alg, in, p, w)
+			if err != nil {
+				t.Errorf("%s/%s workers=%d: parallel run failed where sequential succeeded: %v",
+					in.Query.Name(), alg, w, err)
+				continue
+			}
+			label := in.Query.Name() + "/" + alg.String() + "/workers=" + string(rune('0'+w%10))
+			assertRunsAgree(t, label, seqRep, seqRoot, seqPhases, parRep, parRoot, parPhases)
+		}
+	}
+}
+
+// TestDeterminismOracleCatalog sweeps the full paper catalog at a
+// moderate instance size.
+func TestDeterminismOracleCatalog(t *testing.T) {
+	for _, entry := range coverpack.Catalog() {
+		entry := entry
+		t.Run(entry.Query.Name(), func(t *testing.T) {
+			in := coverpack.Uniform(entry.Query, 400, 500, 1)
+			runOracle(t, in, 8)
+		})
+	}
+}
+
+// TestDeterminismOracleLarge re-runs a query subset with relations big
+// enough to cross the engine's fan-out threshold (1024 tuples), so the
+// chunked exchange paths — not just the sequential fallbacks — are the
+// ones being compared.
+func TestDeterminismOracleLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instances skipped in -short mode")
+	}
+	for _, q := range []*hypergraph.Query{
+		hypergraph.SemiJoinExample(),
+		hypergraph.Line3Join(),
+		hypergraph.TriangleJoin(),
+		hypergraph.StarDualJoin(3),
+	} {
+		q := q
+		t.Run(q.Name(), func(t *testing.T) {
+			in := coverpack.Uniform(q, 1600, 2000, 7)
+			runOracle(t, in, 8)
+		})
+	}
+}
+
+// TestDeterminismOracleSkew covers the skewed-instance code paths
+// (heavy/light splits take different branches than uniform data).
+func TestDeterminismOracleSkew(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skew instances skipped in -short mode")
+	}
+	for _, q := range []*hypergraph.Query{
+		hypergraph.SemiJoinExample(),
+		hypergraph.TriangleJoin(),
+	} {
+		q := q
+		t.Run(q.Name(), func(t *testing.T) {
+			in := coverpack.HeavyHub(q, 1500)
+			runOracle(t, in, 8)
+		})
+	}
+}

@@ -255,15 +255,12 @@ func (ex *executor) caseIPeel(g *mpc.Group, alive hypergraph.EdgeSet, vars map[i
 					}
 					return out
 				})
-				rrH := make([]int, len(plans))
-				hParts := g.Distribute(heavyPart, sizes, func(f *relation.Relation, t relation.Tuple) []mpc.BranchDest {
+				hParts := g.DistributeSpread(heavyPart, sizes, func(f *relation.Relation, t relation.Tuple) []mpc.BranchSend {
 					bi, ok := heavyBranch[f.Get(t, x)]
 					if !ok {
 						return nil
 					}
-					d := mpc.BranchDest{Branch: bi, Server: rrH[bi] % sizes[bi]}
-					rrH[bi]++
-					return []mpc.BranchDest{d}
+					return []mpc.BranchSend{{Branch: bi}}
 				})
 
 				lightPart := g.Local(rels[e], func(_ int, f *relation.Relation) *relation.Relation {
@@ -289,8 +286,7 @@ func (ex *executor) caseIPeel(g *mpc.Group, alive hypergraph.EdgeSet, vars map[i
 						groupOf[relP.Frags[i]] = m
 					}
 					replicateLight := sxSet.Contains(e)
-					rrL := make([]int, len(plans))
-					lParts = g.Distribute(relP, sizes, func(f *relation.Relation, t relation.Tuple) []mpc.BranchDest {
+					lParts = g.DistributeSpread(relP, sizes, func(f *relation.Relation, t relation.Tuple) []mpc.BranchSend {
 						m := groupOf[f]
 						if m == nil {
 							return nil
@@ -303,16 +299,7 @@ func (ex *executor) caseIPeel(g *mpc.Group, alive hypergraph.EdgeSet, vars map[i
 						if !ok {
 							return nil
 						}
-						if replicateLight {
-							out := make([]mpc.BranchDest, sizes[bi])
-							for s := 0; s < sizes[bi]; s++ {
-								out[s] = mpc.BranchDest{Branch: bi, Server: s}
-							}
-							return out
-						}
-						d := mpc.BranchDest{Branch: bi, Server: rrL[bi] % sizes[bi]}
-						rrL[bi]++
-						return []mpc.BranchDest{d}
+						return []mpc.BranchSend{{Branch: bi, Broadcast: replicateLight}}
 					})
 				}
 				merged := make([]*mpc.DistRelation, len(plans))
@@ -326,15 +313,11 @@ func (ex *executor) caseIPeel(g *mpc.Group, alive hypergraph.EdgeSet, vars map[i
 				}
 				parts[e] = merged
 			} else {
-				rr := make([]int, len(plans))
-				parts[e] = g.Distribute(rels[e], sizes, func(f *relation.Relation, t relation.Tuple) []mpc.BranchDest {
-					out := make([]mpc.BranchDest, len(plans))
-					for bi := range plans {
-						out[bi] = mpc.BranchDest{Branch: bi, Server: rr[bi] % sizes[bi]}
-						rr[bi]++
-					}
-					return out
-				})
+				all := make([]mpc.BranchSend, len(plans))
+				for bi := range plans {
+					all[bi] = mpc.BranchSend{Branch: bi}
+				}
+				parts[e] = g.DistributeSpread(rels[e], sizes, func(*relation.Relation, relation.Tuple) []mpc.BranchSend { return all })
 			}
 		}
 	})

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"coverpack/internal/hypergraph"
 	"coverpack/internal/mpc"
@@ -119,10 +120,14 @@ type executor struct {
 	cntAttr int
 	grpAttr int
 	trace   bool
+	logMu   sync.Mutex
 	log     []string
 }
 
-// tracef appends a decision-log line when tracing is on.
+// tracef appends a decision-log line when tracing is on. Branches of a
+// Parallel block may log concurrently under the parallel engine, so
+// appends are serialized; line order across concurrent branches is not
+// part of the determinism contract (TraceRun runs sequentially).
 func (ex *executor) tracef(depth int, format string, args ...interface{}) {
 	if !ex.trace {
 		return
@@ -131,7 +136,9 @@ func (ex *executor) tracef(depth int, format string, args ...interface{}) {
 	for i := 0; i < depth; i++ {
 		prefix += "  "
 	}
+	ex.logMu.Lock()
 	ex.log = append(ex.log, prefix+fmt.Sprintf(format, args...))
+	ex.logMu.Unlock()
 }
 
 func cloneVars(vars map[int]hypergraph.VarSet) map[int]hypergraph.VarSet {
@@ -205,10 +212,15 @@ func (ex *executor) compute(g *mpc.Group, alive hypergraph.EdgeSet, vars map[int
 	// fragment joined with the context.
 	if alive.Len() == 1 {
 		e := alive.Edges()[0]
+		frags := rels[e].Frags
+		partial := make([]int64, len(frags))
+		g.Fork(len(frags), func(i int) {
+			local := append([]*relation.Relation{frags[i]}, ctx...)
+			partial[i] = relation.JoinSizeOf(local)
+		})
 		var total int64
-		for _, f := range rels[e].Frags {
-			local := append([]*relation.Relation{f}, ctx...)
-			total += relation.JoinSizeOf(local)
+		for _, c := range partial {
+			total += c
 		}
 		return total, nil
 	}
@@ -275,7 +287,7 @@ func (ex *executor) caseII(g *mpc.Group, alive hypergraph.EdgeSet, vars map[int]
 			i, edges := i, edges
 			branchRels := make(map[int]*mpc.DistRelation, len(edges))
 			for _, e := range edges {
-				parts := g.Distribute(rels[e], []int{sizes[i]}, roundRobin(0, sizes[i]))
+				parts := g.DistributeSpread(rels[e], []int{sizes[i]}, spreadAll(0))
 				branchRels[e] = parts[0]
 			}
 			branches = append(branches, mpc.Branch{
@@ -315,14 +327,12 @@ func (ex *executor) caseII(g *mpc.Group, alive hypergraph.EdgeSet, vars map[int]
 	return relation.JoinSizeOf(all), nil
 }
 
-// roundRobin routes tuples to one branch's servers in rotation.
-func roundRobin(branch, servers int) func(*relation.Relation, relation.Tuple) []mpc.BranchDest {
-	i := 0
-	return func(*relation.Relation, relation.Tuple) []mpc.BranchDest {
-		d := mpc.BranchDest{Branch: branch, Server: i % servers}
-		i++
-		return []mpc.BranchDest{d}
-	}
+// spreadAll sends every tuple to one branch; the engine rotates tuples
+// over the branch's servers (DistributeSpread owns the round-robin
+// state, keeping the pick closure pure for the parallel engine).
+func spreadAll(branch int) func(*relation.Relation, relation.Tuple) []mpc.BranchSend {
+	sends := []mpc.BranchSend{{Branch: branch}}
+	return func(*relation.Relation, relation.Tuple) []mpc.BranchSend { return sends }
 }
 
 // chargeCtx charges the delivery of the replicated context to a freshly

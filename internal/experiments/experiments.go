@@ -29,6 +29,10 @@ type Table struct {
 // runs, the default sizes by cmd/experiments and the benchmarks.
 type Config struct {
 	Small bool
+	// Workers sets the simulator's goroutine pool (0/1 sequential,
+	// n > 1 that many workers, negative GOMAXPROCS). Every table is
+	// identical for every setting; only wall-clock time changes.
+	Workers int
 }
 
 func (c Config) pick(small, big int) int {
@@ -38,14 +42,19 @@ func (c Config) pick(small, big int) int {
 	return big
 }
 
+// eo is the ExecOptions shared by every execution of the config.
+func (c Config) eo() coverpack.ExecOptions {
+	return coverpack.ExecOptions{Workers: c.Workers}
+}
+
 func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
 func itoa(v int) string   { return fmt.Sprintf("%d", v) }
 func load(v int) string   { return fmt.Sprintf("%d", v) }
 
 // scaling runs one algorithm over a p sweep on an instance and returns
 // per-p loads plus the fitted exponent x of L ≈ c·N/p^{1/x}.
-func scaling(alg coverpack.Algorithm, in *coverpack.Instance, ps []int) (map[int]int, float64, error) {
-	profile, x, err := coverpack.LoadScaling(alg, in, ps)
+func scaling(cfg Config, alg coverpack.Algorithm, in *coverpack.Instance, ps []int) (map[int]int, float64, error) {
+	profile, x, err := coverpack.LoadScalingOpts(alg, in, ps, cfg.eo())
 	if err != nil {
 		return nil, 0, err
 	}
@@ -93,7 +102,7 @@ func Table1(cfg Config) ([]Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		loads, x, err := scaling(r.alg, r.in, ps)
+		loads, x, err := scaling(cfg, r.alg, r.in, ps)
 		if err != nil {
 			return nil, err
 		}
@@ -139,7 +148,7 @@ func binaryJoinRows(cfg Config) (Table, error) {
 	n := cfg.pick(400, 4096)
 	in := mustAGMInst(q, n)
 	ps := []int{8, 27, 216}
-	profile, _, err := coverpack.LoadScaling(coverpack.AlgTriangle, in, ps)
+	profile, _, err := coverpack.LoadScalingOpts(coverpack.AlgTriangle, in, ps, cfg.eo())
 	if err != nil {
 		return Table{}, err
 	}
@@ -293,11 +302,11 @@ func Figure4(cfg Config) (Table, error) {
 	for _, p := range []int{4, 16} {
 		lc := core.ChooseL(in, p, core.Conservative)
 		lo := core.ChooseL(in, p, core.PathOptimal)
-		rc, err := coverpack.Execute(coverpack.AlgAcyclicConservative, in, p)
+		rc, err := coverpack.ExecuteOpts(coverpack.AlgAcyclicConservative, in, p, cfg.eo())
 		if err != nil {
 			return Table{}, err
 		}
-		ro, err := coverpack.Execute(coverpack.AlgAcyclicOptimal, in, p)
+		ro, err := coverpack.ExecuteOpts(coverpack.AlgAcyclicOptimal, in, p, cfg.eo())
 		if err != nil {
 			return Table{}, err
 		}
@@ -357,11 +366,11 @@ func Figure6(cfg Config) (Table, error) {
 		Header: []string{"p", "load optimal-run", "theory N/p^(1/2)", "load one-round HC"},
 	}
 	for _, p := range []int{4, 16, 64} {
-		ro, err := coverpack.Execute(coverpack.AlgAcyclicOptimal, in, p)
+		ro, err := coverpack.ExecuteOpts(coverpack.AlgAcyclicOptimal, in, p, cfg.eo())
 		if err != nil {
 			return Table{}, err
 		}
-		rh, err := coverpack.Execute(coverpack.AlgHyperCube, in, p)
+		rh, err := coverpack.ExecuteOpts(coverpack.AlgHyperCube, in, p, cfg.eo())
 		if err != nil {
 			return Table{}, err
 		}
@@ -430,11 +439,11 @@ func Section13(cfg Config) (Table, error) {
 		}
 		psi, _ := an.Psi.Float64()
 		for _, p := range []int{16, 64} {
-			r1, err := coverpack.Execute(coverpack.AlgSkewAware, tc.in, p)
+			r1, err := coverpack.ExecuteOpts(coverpack.AlgSkewAware, tc.in, p, cfg.eo())
 			if err != nil {
 				return Table{}, err
 			}
-			rm, err := coverpack.Execute(coverpack.AlgAcyclicOptimal, tc.in, p)
+			rm, err := coverpack.ExecuteOpts(coverpack.AlgAcyclicOptimal, tc.in, p, cfg.eo())
 			if err != nil {
 				return Table{}, err
 			}
@@ -461,7 +470,7 @@ func EMCorollary(cfg Config) (Table, error) {
 	if err != nil {
 		return Table{}, err
 	}
-	profile, x, err := coverpack.LoadScaling(coverpack.AlgAcyclicOptimal, in, []int{4, 16, 64})
+	profile, x, err := coverpack.LoadScalingOpts(coverpack.AlgAcyclicOptimal, in, []int{4, 16, 64}, cfg.eo())
 	if err != nil {
 		return Table{}, err
 	}
@@ -505,7 +514,7 @@ func AblationSkew(cfg Config) (Table, error) {
 		for i, alg := range []coverpack.Algorithm{
 			coverpack.AlgHyperCube, coverpack.AlgSkewAware, coverpack.AlgAcyclicOptimal,
 		} {
-			rep, err := coverpack.Execute(alg, in, p)
+			rep, err := coverpack.ExecuteOpts(alg, in, p, cfg.eo())
 			if err != nil {
 				return Table{}, err
 			}
@@ -547,7 +556,7 @@ func AblationThreshold(cfg Config) (Table, error) {
 		if l < 1 {
 			l = 1
 		}
-		c := mpcCluster(p)
+		c := mpcCluster(cfg, p)
 		res, err := core.Run(c.Root(), in, core.Options{Strategy: core.PathOptimal, L: l})
 		if err != nil {
 			return Table{}, err
@@ -561,7 +570,12 @@ func AblationThreshold(cfg Config) (Table, error) {
 	return t, nil
 }
 
-func mpcCluster(p int) *mpc.Cluster { return mpc.NewCluster(p) }
+func mpcCluster(cfg Config, p int) *mpc.Cluster {
+	if cfg.Workers != 0 && cfg.Workers != 1 {
+		return mpc.NewCluster(p, mpc.WithWorkers(cfg.Workers))
+	}
+	return mpc.NewCluster(p)
+}
 
 // All runs every experiment.
 func All(cfg Config) ([]Table, error) {

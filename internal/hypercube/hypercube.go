@@ -280,14 +280,19 @@ func RunWithShares(g *mpc.Group, in *relation.Instance, shares map[int]int, salt
 			})
 		}
 	})
-	// Local joins; emit() is zero-cost per the model.
-	var emitted int64
-	for s := 0; s < gr.size; s++ {
+	// Local joins; emit() is zero-cost per the model. Each server's join
+	// is independent, so they run under the group's worker pool.
+	emits := make([]int64, gr.size)
+	g.Fork(gr.size, func(s int) {
 		li := relation.NewInstance(q)
 		for e := 0; e < q.NumEdges(); e++ {
 			li.Relations[e] = local[e].Frags[s]
 		}
-		emitted += li.JoinSize()
+		emits[s] = li.JoinSize()
+	})
+	var emitted int64
+	for _, c := range emits {
+		emitted += c
 	}
 	return &Result{Emitted: emitted, Shares: shares, GridSize: gr.size}
 }

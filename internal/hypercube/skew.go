@@ -3,6 +3,7 @@ package hypercube
 import (
 	"math"
 	"math/big"
+	"sort"
 	"strconv"
 
 	"coverpack/internal/hypergraph"
@@ -165,17 +166,23 @@ func SkewAwareWithThreshold(g *mpc.Group, in *relation.Instance, threshold int64
 	// share cap equal to their heavy-value count (hashing beyond the
 	// distinct count buys nothing); light dimensions cap at the
 	// stratum's distinct light values.
+	// Strata run in pattern order: map iteration order would vary from
+	// run to run, which the determinism contract (identical traces and
+	// stats for any worker count, and across repeated runs) forbids.
+	patterns := make([]uint64, 0, len(strata))
+	for pattern := range strata {
+		patterns = append(patterns, pattern)
+	}
+	sort.Slice(patterns, func(i, j int) bool { return patterns[i] < patterns[j] })
+
 	var res SkewAwareResult
 	res.Threshold = threshold
 	var branches []mpc.Branch
-	var emits []int64
-	si := 0
-	for pattern, st := range strata {
+	emits := make([]int64, len(patterns))
+	for si, pattern := range patterns {
 		pattern := pattern
-		st := st
+		st := strata[pattern]
 		idx := si
-		si++
-		emits = append(emits, 0)
 		branches = append(branches, mpc.Branch{
 			Servers: g.Size(),
 			Run: func(sub *mpc.Group) {

@@ -105,15 +105,13 @@ func TestDeclareServers(t *testing.T) {
 	}
 }
 
-func TestDebugLoadHook(t *testing.T) {
+func TestLoadObserverHook(t *testing.T) {
 	seen := 0
-	DebugLoad = func(maxLoad int) { seen = maxLoad }
-	defer func() { DebugLoad = nil }()
-	c := NewCluster(2)
+	c := NewCluster(2, WithLoadObserver(func(maxLoad int) { seen = maxLoad }))
 	g := c.Root()
 	d := g.Scatter(fill(relation.NewSchema(0), 8))
 	g.Broadcast(d)
 	if seen != 8 {
-		t.Fatalf("hook saw %d, want 8", seen)
+		t.Fatalf("observer saw %d, want 8", seen)
 	}
 }

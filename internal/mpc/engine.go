@@ -1,0 +1,452 @@
+package mpc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"coverpack/internal/relation"
+	"coverpack/internal/trace"
+)
+
+// This file is the goroutine-parallel execution engine. The simulator's
+// observable artifacts — output tuples, Stats, trace events, observer
+// calls — are part of the reproduction's measured results, so the engine
+// is built around one invariant: for any worker count, every operation
+// produces byte-identical results to the sequential path.
+//
+// The mechanism is deterministic decomposition + ordered merge:
+//
+//   - Data-parallel exchanges (HashPartition, Route, SendTo, Distribute,
+//     DistributeSpread, Broadcast, Gather, Local, Scatter) split the
+//     flattened fragment-major tuple stream into index-ordered chunks.
+//     Each chunk appends its output to its own shard of a
+//     relation.Builder (one shard per chunk per destination) and counts
+//     received units in a private recv vector. Shards are concatenated
+//     in chunk order — which is the flattened input order, i.e. exactly
+//     the order the sequential loop appends in — and recv vectors are
+//     summed, so the single chargeRound call at the end sees the same
+//     numbers in the same order.
+//
+//   - Parallel branches run concurrently on sub-groups whose recorder
+//     and load observer are replaced by per-branch buffers; after all
+//     branches finish, the buffers are replayed into the parent
+//     recorder/observer in branch order and the branch Stats are folded
+//     exactly as the sequential loop folds them.
+//
+// Work is bounded by a cluster-wide token pool of workers−1 extra
+// goroutines; the calling goroutine always participates, so nested
+// fan-outs (a Parallel branch issuing a parallel exchange) degrade to
+// inline execution instead of deadlocking when the pool is exhausted.
+
+// WithWorkers sets the engine's worker-pool size. 1 (the default) is
+// the sequential engine; n > 1 enables goroutine-parallel execution
+// with at most n concurrently running goroutines; n <= 0 selects
+// runtime.GOMAXPROCS(0). Results are byte-identical for every setting.
+func WithWorkers(n int) Option {
+	return func(c *Cluster) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		c.workers = n
+	}
+}
+
+// Workers reports the cluster's worker-pool size.
+func (c *Cluster) Workers() int { return c.workers }
+
+const (
+	// parThreshold is the minimum flattened tuple count before an
+	// exchange fans out; below it the sequential loop wins on overhead.
+	parThreshold = 1024
+	// minChunk keeps chunks coarse enough to amortize per-chunk setup.
+	minChunk = 256
+	// chunkFactor over-decomposes the input per worker so uneven
+	// fragments still balance across the pool.
+	chunkFactor = 4
+)
+
+// parallel reports whether an exchange over n tuples should fan out.
+func (g *Group) parallel(n int) bool {
+	return g.cluster.workers > 1 && n >= parThreshold
+}
+
+// fork runs fn(0..n-1) across the worker pool and returns when all
+// calls have finished. The caller participates; extra goroutines are
+// admitted by the cluster token pool (capacity workers−1) and work-steal
+// indices from a shared counter. A panic in any call is re-raised on
+// the caller (lowest index wins), preserving the sequential engine's
+// panic semantics for bad routes.
+func (c *Cluster) fork(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if c.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	panics := make([]any, n)
+	var panicked atomic.Bool
+	run := func() {
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= n {
+				return
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panics[i] = r
+						panicked.Store(true)
+					}
+				}()
+				fn(i)
+			}()
+		}
+	}
+	want := c.workers
+	if n < want {
+		want = n
+	}
+	var wg sync.WaitGroup
+spawn:
+	for extra := 1; extra < want; extra++ {
+		select {
+		case c.tokens <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-c.tokens }()
+				run()
+			}()
+		default:
+			break spawn // pool exhausted; the caller absorbs the rest
+		}
+	}
+	run()
+	wg.Wait()
+	if panicked.Load() {
+		for _, p := range panics {
+			if p != nil {
+				panic(p)
+			}
+		}
+	}
+}
+
+// Fork runs fn(i) for i in [0, n) across the cluster's worker pool
+// (inline under the sequential engine). It parallelizes local,
+// communication-free computation: fn must not charge the group and its
+// only shared writes must go to caller-owned per-index slots, so the
+// merged result is independent of scheduling.
+func (g *Group) Fork(n int, fn func(i int)) { g.cluster.fork(n, fn) }
+
+// frange is one contiguous run of tuples within a fragment; base is the
+// flattened (fragment-major) index of its first tuple.
+type frange struct {
+	frag, lo, hi, base int
+}
+
+// flatChunks splits d's flattened tuple stream into index-ordered
+// chunks of roughly equal size. Chunk boundaries affect only scheduling
+// granularity, never results: outputs are merged in chunk order, which
+// equals flattened order for any decomposition.
+func flatChunks(d *DistRelation, workers int) [][]frange {
+	total := d.Len()
+	nchunks := workers * chunkFactor
+	if cap := (total + minChunk - 1) / minChunk; nchunks > cap {
+		nchunks = cap
+	}
+	if nchunks < 1 {
+		nchunks = 1
+	}
+	per := (total + nchunks - 1) / nchunks
+	out := make([][]frange, 0, nchunks)
+	var cur []frange
+	room := per
+	base := 0
+	for fi, f := range d.Frags {
+		n := f.Len()
+		for lo := 0; lo < n; {
+			take := n - lo
+			if take > room {
+				take = room
+			}
+			cur = append(cur, frange{frag: fi, lo: lo, hi: lo + take, base: base})
+			base += take
+			lo += take
+			room -= take
+			if room == 0 {
+				out = append(out, cur)
+				cur = nil
+				room = per
+			}
+		}
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// forEachTuple visits the tuples of the chunk in flattened order.
+func forEachTuple(d *DistRelation, chunk []frange, fn func(f *relation.Relation, src int, t relation.Tuple, flat int)) {
+	for _, r := range chunk {
+		f := d.Frags[r.frag]
+		ts := f.Tuples()
+		for i := r.lo; i < r.hi; i++ {
+			fn(f, r.frag, ts[i], r.base+i-r.lo)
+		}
+	}
+}
+
+// foldRecv sums per-chunk recv vectors into one of length n.
+func foldRecv(parts [][]int, n int) []int {
+	recv := make([]int, n)
+	for _, p := range parts {
+		for i, v := range p {
+			recv[i] += v
+		}
+	}
+	return recv
+}
+
+// buildFrags assembles one fragment per builder, in parallel.
+func (c *Cluster) buildFrags(builders []*relation.Builder) []*relation.Relation {
+	frags := make([]*relation.Relation, len(builders))
+	c.fork(len(builders), func(i int) { frags[i] = builders[i].Build() })
+	return frags
+}
+
+// parHashPartition is HashPartition's fan-out path.
+func (g *Group) parHashPartition(d *DistRelation, pos []int) *DistRelation {
+	k := g.size
+	chunks := flatChunks(d, g.cluster.workers)
+	m := len(chunks)
+	builders := make([]*relation.Builder, k)
+	for i := range builders {
+		builders[i] = relation.NewBuilder(d.Schema, m)
+	}
+	recvs := make([][]int, m)
+	charge := g.cluster.chargeSelfSends
+	g.cluster.fork(m, func(ci int) {
+		recv := make([]int, k)
+		forEachTuple(d, chunks[ci], func(_ *relation.Relation, src int, t relation.Tuple, _ int) {
+			dest := int(hashKey(relation.Key(t, pos)) % uint64(k))
+			builders[dest].Shard(ci).Add(t)
+			if charge || dest != src || src >= k {
+				recv[dest]++
+			}
+		})
+		recvs[ci] = recv
+	})
+	out := &DistRelation{Schema: d.Schema, Frags: g.cluster.buildFrags(builders)}
+	g.chargeRound(trace.OpHashPartition, foldRecv(recvs, k))
+	return out
+}
+
+// parRoute is Route's fan-out path. route must be pure (see Route).
+func (g *Group) parRoute(d *DistRelation, route func(src int, t relation.Tuple) []int) *DistRelation {
+	k := g.size
+	chunks := flatChunks(d, g.cluster.workers)
+	m := len(chunks)
+	builders := make([]*relation.Builder, k)
+	for i := range builders {
+		builders[i] = relation.NewBuilder(d.Schema, m)
+	}
+	recvs := make([][]int, m)
+	g.cluster.fork(m, func(ci int) {
+		recv := make([]int, k)
+		forEachTuple(d, chunks[ci], func(_ *relation.Relation, src int, t relation.Tuple, _ int) {
+			for _, dest := range route(src, t) {
+				if dest < 0 || dest >= k {
+					panic(fmt.Sprintf("mpc: route destination %d outside group of size %d", dest, k))
+				}
+				builders[dest].Shard(ci).Add(t)
+				recv[dest]++
+			}
+		})
+		recvs[ci] = recv
+	})
+	out := &DistRelation{Schema: d.Schema, Frags: g.cluster.buildFrags(builders)}
+	g.chargeRound(trace.OpRoute, foldRecv(recvs, k))
+	return out
+}
+
+// parSendTo is SendTo's fan-out path: destination i%k of the flattened
+// index is position-determined, so chunks assign independently.
+func (g *Group) parSendTo(d *DistRelation, k int) *DistRelation {
+	chunks := flatChunks(d, g.cluster.workers)
+	m := len(chunks)
+	builders := make([]*relation.Builder, k)
+	for i := range builders {
+		builders[i] = relation.NewBuilder(d.Schema, m)
+	}
+	recvs := make([][]int, m)
+	rlen := maxInt(k, g.size)
+	g.cluster.fork(m, func(ci int) {
+		recv := make([]int, rlen)
+		forEachTuple(d, chunks[ci], func(_ *relation.Relation, _ int, t relation.Tuple, flat int) {
+			dest := flat % k
+			builders[dest].Shard(ci).Add(t)
+			recv[dest]++
+		})
+		recvs[ci] = recv
+	})
+	out := &DistRelation{Schema: d.Schema, Frags: g.cluster.buildFrags(builders)}
+	g.chargeRound(trace.OpSendTo, foldRecv(recvs, rlen))
+	return out
+}
+
+// parDistribute is Distribute's fan-out path; route must be pure under
+// a parallel engine (see Distribute).
+func (g *Group) parDistribute(d *DistRelation, sizes []int, offset []int, total int,
+	route func(src *relation.Relation, t relation.Tuple) []BranchDest) []*DistRelation {
+
+	chunks := flatChunks(d, g.cluster.workers)
+	m := len(chunks)
+	builders := make([][]*relation.Builder, len(sizes))
+	for b, k := range sizes {
+		builders[b] = make([]*relation.Builder, k)
+		for s := range builders[b] {
+			builders[b][s] = relation.NewBuilder(d.Schema, m)
+		}
+	}
+	recvs := make([][]int, m)
+	rlen := maxInt(total, g.size)
+	g.cluster.fork(m, func(ci int) {
+		recv := make([]int, rlen)
+		forEachTuple(d, chunks[ci], func(f *relation.Relation, _ int, t relation.Tuple, _ int) {
+			for _, dest := range route(f, t) {
+				if dest.Branch < 0 || dest.Branch >= len(sizes) ||
+					dest.Server < 0 || dest.Server >= sizes[dest.Branch] {
+					panic(fmt.Sprintf("mpc: Distribute destination %+v out of range", dest))
+				}
+				builders[dest.Branch][dest.Server].Shard(ci).Add(t)
+				recv[offset[dest.Branch]+dest.Server]++
+			}
+		})
+		recvs[ci] = recv
+	})
+	out := g.assembleBranches(d.Schema, sizes, builders)
+	g.chargeRound(trace.OpDistribute, foldRecv(recvs, rlen))
+	return out
+}
+
+// parDistributeSpread is DistributeSpread's fan-out path. Round-robin
+// state is order-dependent, so it runs two passes: count per-chunk
+// round-robin sends per branch, prefix-sum the counts into per-chunk
+// starting rotations, then assign. The rotation each tuple sees equals
+// the number of round-robin sends to its branch strictly before it in
+// flattened order — exactly the sequential counter value.
+func (g *Group) parDistributeSpread(d *DistRelation, sizes []int, offset []int, total int,
+	pick func(src *relation.Relation, t relation.Tuple) []BranchSend) []*DistRelation {
+
+	nb := len(sizes)
+	chunks := flatChunks(d, g.cluster.workers)
+	m := len(chunks)
+
+	counts := make([][]int, m)
+	g.cluster.fork(m, func(ci int) {
+		cnt := make([]int, nb)
+		forEachTuple(d, chunks[ci], func(f *relation.Relation, _ int, t relation.Tuple, _ int) {
+			for _, s := range pick(f, t) {
+				if s.Branch < 0 || s.Branch >= nb {
+					panic(fmt.Sprintf("mpc: DistributeSpread branch %d out of range", s.Branch))
+				}
+				if !s.Broadcast {
+					cnt[s.Branch]++
+				}
+			}
+		})
+		counts[ci] = cnt
+	})
+	starts := make([][]int, m)
+	run := make([]int, nb)
+	for ci := 0; ci < m; ci++ {
+		starts[ci] = append([]int(nil), run...)
+		for b, c := range counts[ci] {
+			run[b] += c
+		}
+	}
+
+	builders := make([][]*relation.Builder, nb)
+	for b, k := range sizes {
+		builders[b] = make([]*relation.Builder, k)
+		for s := range builders[b] {
+			builders[b][s] = relation.NewBuilder(d.Schema, m)
+		}
+	}
+	recvs := make([][]int, m)
+	rlen := maxInt(total, g.size)
+	g.cluster.fork(m, func(ci int) {
+		rr := append([]int(nil), starts[ci]...)
+		recv := make([]int, rlen)
+		forEachTuple(d, chunks[ci], func(f *relation.Relation, _ int, t relation.Tuple, _ int) {
+			for _, s := range pick(f, t) {
+				if s.Broadcast {
+					for srv := 0; srv < sizes[s.Branch]; srv++ {
+						builders[s.Branch][srv].Shard(ci).Add(t)
+						recv[offset[s.Branch]+srv]++
+					}
+					continue
+				}
+				srv := rr[s.Branch] % sizes[s.Branch]
+				rr[s.Branch]++
+				builders[s.Branch][srv].Shard(ci).Add(t)
+				recv[offset[s.Branch]+srv]++
+			}
+		})
+		recvs[ci] = recv
+	})
+	out := g.assembleBranches(d.Schema, sizes, builders)
+	g.chargeRound(trace.OpDistribute, foldRecv(recvs, rlen))
+	return out
+}
+
+// assembleBranches builds the per-branch DistRelations from the
+// per-(branch, server) builders, fanning the copies out over the pool.
+func (g *Group) assembleBranches(schema relation.Schema, sizes []int, builders [][]*relation.Builder) []*DistRelation {
+	out := make([]*DistRelation, len(sizes))
+	type target struct {
+		frags []*relation.Relation
+		i     int
+		bld   *relation.Builder
+	}
+	var targets []target
+	for b, k := range sizes {
+		out[b] = &DistRelation{Schema: schema, Frags: make([]*relation.Relation, k)}
+		for s := 0; s < k; s++ {
+			targets = append(targets, target{frags: out[b].Frags, i: s, bld: builders[b][s]})
+		}
+	}
+	g.cluster.fork(len(targets), func(i int) {
+		t := targets[i]
+		t.frags[t.i] = t.bld.Build()
+	})
+	return out
+}
+
+// collect concatenates fragments in order, fanning the copy out when
+// the relation is large.
+func (g *Group) collect(d *DistRelation) *relation.Relation {
+	total := d.Len()
+	if !g.parallel(total) {
+		return d.Collect()
+	}
+	offs := make([]int, len(d.Frags))
+	off := 0
+	for i, f := range d.Frags {
+		offs[i] = off
+		off += f.Len()
+	}
+	tuples := make([]relation.Tuple, total)
+	g.cluster.fork(len(d.Frags), func(i int) {
+		copy(tuples[offs[i]:], d.Frags[i].Tuples())
+	})
+	return relation.FromTuples(d.Schema, tuples)
+}

@@ -1,0 +1,386 @@
+package mpc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"coverpack/internal/relation"
+	"coverpack/internal/trace"
+)
+
+// The equivalence harness: every scenario is executed under the
+// sequential engine and under several worker-pool sizes, and every
+// observable — output tuples (order included), Stats, the trace span
+// tree, the load-observer call sequence — must be byte-identical.
+
+// capture is everything observable about one run.
+type capture struct {
+	stats Stats
+	loads []int
+	root  *trace.Span
+	outs  []*relation.Relation
+}
+
+// runScenario executes scenario on a fresh p-server cluster with the
+// given worker count, recording traces and observer calls. The scenario
+// registers output fragments through keep.
+func runScenario(p, workers int, scenario func(g *Group, keep func(rs ...*relation.Relation))) capture {
+	col := trace.NewCollector()
+	var cap capture
+	c := NewCluster(p,
+		WithWorkers(workers),
+		WithRecorder(col),
+		WithLoadObserver(func(m int) { cap.loads = append(cap.loads, m) }))
+	scenario(c.Root(), func(rs ...*relation.Relation) { cap.outs = append(cap.outs, rs...) })
+	cap.stats = c.Stats()
+	cap.root = col.Root()
+	return cap
+}
+
+// assertSameCapture fails unless got is byte-identical to want.
+func assertSameCapture(t *testing.T, label string, want, got capture) {
+	t.Helper()
+	if want.stats != got.stats {
+		t.Errorf("%s: stats differ: seq %+v, par %+v", label, want.stats, got.stats)
+	}
+	if !reflect.DeepEqual(want.loads, got.loads) {
+		t.Errorf("%s: observer sequences differ: seq %v, par %v", label, want.loads, got.loads)
+	}
+	if !reflect.DeepEqual(want.root, got.root) {
+		t.Errorf("%s: trace span trees differ", label)
+	}
+	if len(want.outs) != len(got.outs) {
+		t.Fatalf("%s: %d output fragments vs %d", label, len(want.outs), len(got.outs))
+	}
+	for i := range want.outs {
+		a, b := want.outs[i], got.outs[i]
+		if !a.Schema().Equal(b.Schema()) {
+			t.Fatalf("%s: fragment %d schema %v vs %v", label, i, a.Schema(), b.Schema())
+		}
+		if a.Len() != b.Len() {
+			t.Fatalf("%s: fragment %d has %d tuples vs %d", label, i, a.Len(), b.Len())
+		}
+		for j := range a.Tuples() {
+			at, bt := a.Tuples()[j], b.Tuples()[j]
+			for k := range at {
+				if at[k] != bt[k] {
+					t.Fatalf("%s: fragment %d tuple %d differs: %v vs %v", label, i, j, at, bt)
+				}
+			}
+		}
+	}
+}
+
+// big builds a relation large enough to cross the engine's fan-out
+// threshold, with values spread over several residues.
+func big(schema relation.Schema, n int) *relation.Relation {
+	r := relation.New(schema)
+	for i := 0; i < n; i++ {
+		t := make(relation.Tuple, schema.Len())
+		for j := range t {
+			t[j] = int64((i*13 + j*7) % 97)
+		}
+		t[0] = int64(i % 31)
+		r.Add(t)
+	}
+	return r
+}
+
+var engineScenarios = []struct {
+	name string
+	run  func(g *Group, keep func(rs ...*relation.Relation))
+}{
+	{"scatter", func(g *Group, keep func(...*relation.Relation)) {
+		d := g.Scatter(big(relation.NewSchema(0, 1), 4000))
+		keep(d.Frags...)
+	}},
+	{"hash-partition", func(g *Group, keep func(...*relation.Relation)) {
+		d := g.Scatter(big(relation.NewSchema(0, 1), 4000))
+		keep(g.HashPartition(d, []int{1}).Frags...)
+	}},
+	{"route-replicated", func(g *Group, keep func(...*relation.Relation)) {
+		d := g.Scatter(big(relation.NewSchema(0, 1), 4000))
+		size := g.Size()
+		out := g.Route(d, func(src int, t relation.Tuple) []int {
+			if t[0]%3 == 0 {
+				return []int{int(t[1]) % size, (int(t[1]) + 1 + src) % size}
+			}
+			return []int{int(t[0]) % size}
+		})
+		keep(out.Frags...)
+	}},
+	{"send-to", func(g *Group, keep func(...*relation.Relation)) {
+		d := g.Scatter(big(relation.NewSchema(0, 1), 4000))
+		keep(g.SendTo(d, 3).Frags...)
+		keep(g.SendTo(d, g.Size()+2).Frags...)
+	}},
+	{"broadcast-gather", func(g *Group, keep func(...*relation.Relation)) {
+		d := g.Scatter(big(relation.NewSchema(0), 2000))
+		keep(g.Broadcast(d).Frags...)
+		keep(g.Gather(d))
+	}},
+	{"local", func(g *Group, keep func(...*relation.Relation)) {
+		d := g.Scatter(big(relation.NewSchema(0, 1), 4000))
+		out := g.Local(d, func(_ int, f *relation.Relation) *relation.Relation {
+			sel := relation.New(f.Schema())
+			for _, t := range f.Tuples() {
+				if t[0] == 5 {
+					sel.Add(t)
+				}
+			}
+			return sel
+		})
+		keep(out.Frags...)
+	}},
+	{"distribute", func(g *Group, keep func(...*relation.Relation)) {
+		d := g.Scatter(big(relation.NewSchema(0, 1), 4000))
+		parts := g.Distribute(d, []int{2, 3}, func(_ *relation.Relation, t relation.Tuple) []BranchDest {
+			if t[0]%2 == 0 {
+				return []BranchDest{{Branch: 0, Server: int(t[1]) % 2}}
+			}
+			// Replicate odd tuples over branch 1.
+			return []BranchDest{{Branch: 1, Server: 0}, {Branch: 1, Server: 1}, {Branch: 1, Server: 2}}
+		})
+		for _, p := range parts {
+			keep(p.Frags...)
+		}
+	}},
+	{"distribute-spread", func(g *Group, keep func(...*relation.Relation)) {
+		d := g.Scatter(big(relation.NewSchema(0, 1), 4000))
+		parts := g.DistributeSpread(d, []int{2, 3}, func(_ *relation.Relation, t relation.Tuple) []BranchSend {
+			switch {
+			case t[0]%5 == 0:
+				return []BranchSend{{Branch: 1, Broadcast: true}}
+			case t[0]%2 == 0:
+				return []BranchSend{{Branch: 0}}
+			case t[0]%7 == 0:
+				return nil // dropped
+			default:
+				return []BranchSend{{Branch: 0}, {Branch: 1}}
+			}
+		})
+		for _, p := range parts {
+			keep(p.Frags...)
+		}
+	}},
+	{"parallel-nested", func(g *Group, keep func(...*relation.Relation)) {
+		outs := make([]*DistRelation, 3)
+		inner := make([]*DistRelation, 2)
+		g.Span("outer", func() {
+			g.Parallel([]Branch{
+				{Servers: 3, Run: func(sub *Group) {
+					d := sub.Scatter(big(relation.NewSchema(0, 1), 3000))
+					sub.Span("branch-phase", func() {
+						outs[0] = sub.HashPartition(d, []int{0})
+					})
+				}},
+				{Servers: 2, Run: func(sub *Group) {
+					sub.Parallel([]Branch{
+						{Servers: 2, Run: func(s2 *Group) {
+							d := s2.Scatter(big(relation.NewSchema(0), 1500))
+							inner[0] = s2.SendTo(d, 2)
+						}},
+						{Servers: 1, Run: func(s2 *Group) {
+							d := s2.Scatter(big(relation.NewSchema(0), 1200))
+							inner[1] = s2.Broadcast(d)
+						}},
+					})
+					outs[1] = sub.Scatter(big(relation.NewSchema(0, 1), 100))
+				}},
+				{Servers: 4, Run: func(sub *Group) {
+					sub.ChargeControl([]int{1, 1, 1, 1})
+					sub.Subgroup(2, func(s2 *Group) {
+						d := s2.Scatter(big(relation.NewSchema(0, 1), 2000))
+						outs[2] = s2.HashPartition(d, []int{1})
+					})
+				}},
+			})
+		})
+		for _, d := range append(append([]*DistRelation{}, outs...), inner...) {
+			keep(d.Frags...)
+		}
+	}},
+}
+
+func TestEngineEquivalence(t *testing.T) {
+	for _, sc := range engineScenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			want := runScenario(5, 1, sc.run)
+			for _, w := range []int{2, 3, 8} {
+				got := runScenario(5, w, sc.run)
+				assertSameCapture(t, sc.name+"/workers="+itoa(w), want, got)
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceRepeatable re-runs one parallel configuration to
+// catch scheduling-dependent output (the equivalence above would admit a
+// deterministic-but-different parallel engine run-to-run).
+func TestEngineEquivalenceRepeatable(t *testing.T) {
+	sc := engineScenarios[len(engineScenarios)-1] // parallel-nested
+	a := runScenario(5, 4, sc.run)
+	b := runScenario(5, 4, sc.run)
+	assertSameCapture(t, "repeat", a, b)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// TestDistributeSpreadMatchesStatefulDistribute pins the migration from
+// caller-owned round-robin closures: on the sequential engine,
+// DistributeSpread must place tuples exactly where the old stateful
+// Distribute closure did.
+func TestDistributeSpreadMatchesStatefulDistribute(t *testing.T) {
+	sizes := []int{2, 3}
+	in := big(relation.NewSchema(0, 1), 500)
+
+	cOld := NewCluster(4)
+	dOld := cOld.Root().Scatter(in)
+	rr := make([]int, len(sizes))
+	old := cOld.Root().Distribute(dOld, sizes, func(_ *relation.Relation, tp relation.Tuple) []BranchDest {
+		bi := int(tp[0]) % 2
+		dst := BranchDest{Branch: bi, Server: rr[bi] % sizes[bi]}
+		rr[bi]++
+		return []BranchDest{dst}
+	})
+
+	cNew := NewCluster(4)
+	dNew := cNew.Root().Scatter(in)
+	now := cNew.Root().DistributeSpread(dNew, sizes, func(_ *relation.Relation, tp relation.Tuple) []BranchSend {
+		return []BranchSend{{Branch: int(tp[0]) % 2}}
+	})
+
+	if cOld.Stats() != cNew.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", cOld.Stats(), cNew.Stats())
+	}
+	for b := range sizes {
+		for s := range old[b].Frags {
+			of, nf := old[b].Frags[s], now[b].Frags[s]
+			if of.Len() != nf.Len() {
+				t.Fatalf("branch %d server %d: %d vs %d tuples", b, s, of.Len(), nf.Len())
+			}
+			for i := range of.Tuples() {
+				if of.Tuples()[i][0] != nf.Tuples()[i][0] || of.Tuples()[i][1] != nf.Tuples()[i][1] {
+					t.Fatalf("branch %d server %d tuple %d differs", b, s, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFlatChunksPartitionFlattenedOrder(t *testing.T) {
+	schema := relation.NewSchema(0)
+	for _, sizes := range [][]int{
+		{0, 0, 0},
+		{1},
+		{700, 0, 1, 299, 4000},
+		{256, 256, 256},
+		{5000},
+	} {
+		d := &DistRelation{Schema: schema}
+		total := 0
+		for fi, n := range sizes {
+			f := relation.New(schema)
+			for i := 0; i < n; i++ {
+				f.Add(relation.Tuple{int64(fi*100000 + i)})
+			}
+			d.Frags = append(d.Frags, f)
+			total += n
+		}
+		for _, workers := range []int{1, 2, 7} {
+			chunks := flatChunks(d, workers)
+			next := 0
+			for _, chunk := range chunks {
+				forEachTuple(d, chunk, func(f *relation.Relation, src int, tp relation.Tuple, flat int) {
+					if flat != next {
+						t.Fatalf("sizes %v workers %d: flat index %d, want %d", sizes, workers, flat, next)
+					}
+					if d.Frags[src] != f {
+						t.Fatalf("src %d does not match fragment", src)
+					}
+					next++
+				})
+			}
+			if next != total {
+				t.Fatalf("sizes %v workers %d: visited %d of %d tuples", sizes, workers, next, total)
+			}
+		}
+	}
+}
+
+func TestForkPanicPropagatesLowestIndex(t *testing.T) {
+	c := NewCluster(4, WithWorkers(4))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("fork swallowed the panic")
+		}
+		if s, ok := r.(string); !ok || s != "boom-3" {
+			t.Fatalf("recovered %v, want boom-3 (lowest panicking index)", r)
+		}
+	}()
+	c.fork(8, func(i int) {
+		if i == 3 || i == 6 {
+			panic("boom-" + itoa(i))
+		}
+	})
+}
+
+func TestRoutePanicUnderParallelEngine(t *testing.T) {
+	c := NewCluster(4, WithWorkers(4))
+	g := c.Root()
+	d := g.Scatter(big(relation.NewSchema(0), 2000))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("bad destination did not panic")
+		}
+		if !strings.Contains(r.(string), "route destination") {
+			t.Fatalf("unexpected panic %v", r)
+		}
+	}()
+	g.Route(d, func(int, relation.Tuple) []int { return []int{99} })
+}
+
+func TestNestedForkDoesNotDeadlock(t *testing.T) {
+	c := NewCluster(4, WithWorkers(2))
+	sums := make([]int64, 4)
+	c.fork(4, func(i int) {
+		inner := make([]int64, 8)
+		c.fork(8, func(j int) { inner[j] = int64(i*8 + j) })
+		for _, v := range inner {
+			sums[i] += v
+		}
+	})
+	var total int64
+	for _, s := range sums {
+		total += s
+	}
+	if total != 31*32/2 {
+		t.Fatalf("total %d, want %d", total, 31*32/2)
+	}
+}
+
+func TestWithWorkersOption(t *testing.T) {
+	if got := NewCluster(2).Workers(); got != 1 {
+		t.Fatalf("default workers = %d, want 1", got)
+	}
+	if got := NewCluster(2, WithWorkers(6)).Workers(); got != 6 {
+		t.Fatalf("workers = %d, want 6", got)
+	}
+	if got := NewCluster(2, WithWorkers(0)).Workers(); got < 1 {
+		t.Fatalf("auto workers = %d, want >= 1", got)
+	}
+}

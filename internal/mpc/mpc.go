@@ -47,6 +47,18 @@
 // a collected trace mirrors the computation tree. Algorithm layers open
 // named phase spans via Group.Span. The default recorder is off and
 // costs nothing on the hot path.
+//
+// # Parallel execution
+//
+// WithWorkers(n) runs the simulator on a goroutine pool: exchanges fan
+// their routing, hashing, and fragment construction out over
+// index-ordered chunks, and Parallel branches execute concurrently with
+// per-branch trace/observer buffering. All observable results — output
+// tuples, Stats, trace event streams, observer call sequences — are
+// byte-identical to the sequential engine for every worker count; see
+// engine.go and DESIGN.md ("Parallel engine determinism contract").
+// Route/Distribute/DistributeSpread/Local callbacks must be pure
+// (deterministic, no shared mutable state) under a parallel cluster.
 package mpc
 
 import (
@@ -94,6 +106,11 @@ type Cluster struct {
 	// chargeSelfSends selects logical (true, default) or physical
 	// (false) accounting; see the package comment.
 	chargeSelfSends bool
+
+	// workers is the engine pool size (1 = sequential); tokens admits
+	// up to workers−1 extra goroutines cluster-wide (see engine.go).
+	workers int
+	tokens  chan struct{}
 }
 
 // Option configures a Cluster at construction.
@@ -132,13 +149,12 @@ func NewCluster(p int, opts ...Option) *Cluster {
 	if p <= 0 {
 		panic(fmt.Sprintf("mpc: cluster needs p >= 1, got %d", p))
 	}
-	c := &Cluster{Budget: p, chargeSelfSends: true}
-	if DebugLoad != nil {
-		// Deprecated global, snapshotted per cluster; see DebugLoad.
-		c.onRound = DebugLoad
-	}
+	c := &Cluster{Budget: p, chargeSelfSends: true, workers: 1}
 	for _, opt := range opts {
 		opt(c)
+	}
+	if c.workers > 1 {
+		c.tokens = make(chan struct{}, c.workers-1)
 	}
 	c.root = &Group{cluster: c, size: p, used: p}
 	return c
@@ -160,6 +176,35 @@ type Group struct {
 	size    int
 	stats   Stats
 	used    int // peak concurrent servers within this group's lifetime
+
+	// rec and onRound, when non-nil, override the cluster's recorder
+	// and load observer for this group and its descendants. Concurrent
+	// Parallel branches record into per-branch buffers through these
+	// overrides; the buffers are replayed in branch order afterwards.
+	rec     trace.Recorder
+	onRound func(maxLoad int)
+}
+
+// recorder returns the effective trace recorder for this group.
+func (g *Group) recorder() trace.Recorder {
+	if g.rec != nil {
+		return g.rec
+	}
+	return g.cluster.rec
+}
+
+// observer returns the effective load observer for this group.
+func (g *Group) observer() func(int) {
+	if g.onRound != nil {
+		return g.onRound
+	}
+	return g.cluster.onRound
+}
+
+// child creates a sub-group that inherits this group's recorder and
+// observer overrides (if any).
+func (g *Group) child(size int) *Group {
+	return &Group{cluster: g.cluster, size: size, rec: g.rec, onRound: g.onRound}
 }
 
 // Size returns the number of servers in the group.
@@ -174,29 +219,20 @@ func (g *Group) Stats() Stats {
 	return s
 }
 
-// DebugLoad, when non-nil at NewCluster time, seeds the cluster's load
-// observer with the per-round maximum load of every exchange.
-//
-// Deprecated: a package-level hook races under parallel tests. Use
-// WithLoadObserver (or Cluster.SetLoadObserver) instead; this variable
-// is only read once, when a cluster is created.
-var DebugLoad func(maxLoad int)
-
 // chargeRound records one communication round of the given operation
 // kind with the given per-destination received unit counts.
 func (g *Group) chargeRound(op trace.Op, recv []int) {
-	c := g.cluster
-	if c.onRound != nil {
+	if obs := g.observer(); obs != nil {
 		m := 0
 		for _, r := range recv {
 			if r > m {
 				m = r
 			}
 		}
-		c.onRound(m)
+		obs(m)
 	}
-	if c.rec != nil {
-		c.rec.Exchange(op, recv)
+	if rec := g.recorder(); rec != nil {
+		rec.Exchange(op, recv)
 	}
 	g.stats.Rounds++
 	for _, r := range recv {
@@ -214,7 +250,7 @@ func (g *Group) chargeRound(op trace.Op, recv []int) {
 // traces; with tracing off it is exactly fn(). Phase spans are what the
 // per-phase load attribution table aggregates by.
 func (g *Group) Span(name string, fn func()) {
-	rec := g.cluster.rec
+	rec := g.recorder()
 	if rec == nil {
 		fn()
 		return
@@ -291,8 +327,24 @@ func (d *DistRelation) Collect() *relation.Relation {
 // the "data initially distributed evenly" premise of the model. It is
 // free: initial placement precedes the computation.
 func (g *Group) Scatter(r *relation.Relation) *DistRelation {
+	ts := r.Tuples()
+	if g.parallel(len(ts)) {
+		// Destination i%size is index-determined, so each destination's
+		// fragment (tuples i, i+size, ...) builds independently, in the
+		// same order a sequential pass appends them.
+		d := &DistRelation{Schema: r.Schema(), Frags: make([]*relation.Relation, g.size)}
+		g.cluster.fork(g.size, func(dst int) {
+			f := relation.New(r.Schema())
+			f.Grow((len(ts) + g.size - 1 - dst) / g.size)
+			for i := dst; i < len(ts); i += g.size {
+				f.Add(ts[i])
+			}
+			d.Frags[dst] = f
+		})
+		return d
+	}
 	d := NewDist(r.Schema(), g.size)
-	for i, t := range r.Tuples() {
+	for i, t := range ts {
 		d.Frags[i%g.size].Add(t)
 	}
 	return d
@@ -308,12 +360,16 @@ func hashKey(key string) uint64 {
 // HashPartition re-partitions d by the given attributes: every tuple
 // goes to server hash(key) mod size. One round; cost = tuples received.
 func (g *Group) HashPartition(d *DistRelation, attrs []int) *DistRelation {
+	pos := d.Schema.Positions(attrs)
+	if g.parallel(d.Len()) {
+		return g.parHashPartition(d, pos)
+	}
 	out := NewDist(d.Schema, g.size)
 	recv := make([]int, g.size)
 	charge := g.cluster.chargeSelfSends
 	for src, f := range d.Frags {
 		for _, t := range f.Tuples() {
-			dest := int(hashKey(f.KeyOn(t, attrs)) % uint64(g.size))
+			dest := int(hashKey(relation.Key(t, pos)) % uint64(g.size))
 			out.Frags[dest].Add(t)
 			if charge || dest != src || src >= g.size {
 				recv[dest]++
@@ -327,12 +383,18 @@ func (g *Group) HashPartition(d *DistRelation, attrs []int) *DistRelation {
 // Broadcast sends every tuple of d to every server. One round; each
 // server receives Len(d) units.
 func (g *Group) Broadcast(d *DistRelation) *DistRelation {
-	all := d.Collect()
-	out := NewDist(d.Schema, g.size)
+	all := g.collect(d)
+	out := &DistRelation{Schema: d.Schema, Frags: make([]*relation.Relation, g.size)}
 	recv := make([]int, g.size)
-	for i := range out.Frags {
-		out.Frags[i] = all.Clone()
+	for i := range recv {
 		recv[i] = all.Len()
+	}
+	if g.cluster.workers > 1 && g.size > 1 && all.Len()*g.size >= parThreshold {
+		g.cluster.fork(g.size, func(i int) { out.Frags[i] = all.Clone() })
+	} else {
+		for i := range out.Frags {
+			out.Frags[i] = all.Clone()
+		}
 	}
 	g.chargeRound(trace.OpBroadcast, recv)
 	return out
@@ -348,12 +410,18 @@ func (g *Group) Gather(d *DistRelation) *relation.Relation {
 		recv[0] -= d.Frags[0].Len()
 	}
 	g.chargeRound(trace.OpGather, recv)
-	return d.Collect()
+	return g.collect(d)
 }
 
 // Route sends each tuple to the destinations chosen by route (0-based
-// server indices within the group); tuples may be replicated. One round.
+// server indices within the group); tuples may be replicated. One
+// round. route must be pure — deterministic, safe for concurrent
+// calls, no shared mutable state — so the parallel engine can invoke
+// it from worker goroutines.
 func (g *Group) Route(d *DistRelation, route func(src int, t relation.Tuple) []int) *DistRelation {
+	if g.parallel(d.Len()) {
+		return g.parRoute(d, route)
+	}
 	out := NewDist(d.Schema, g.size)
 	recv := make([]int, g.size)
 	for src, f := range d.Frags {
@@ -372,18 +440,22 @@ func (g *Group) Route(d *DistRelation, route func(src int, t relation.Tuple) []i
 }
 
 // Local applies a per-server transformation with no communication.
+// Under a parallel cluster the per-server calls may run concurrently;
+// f must be pure with respect to shared state (reading shared
+// read-only data is fine).
 func (g *Group) Local(d *DistRelation, f func(server int, frag *relation.Relation) *relation.Relation) *DistRelation {
 	if len(d.Frags) != g.size {
 		panic("mpc: Local on relation of mismatched group size")
 	}
-	var schema relation.Schema
 	out := &DistRelation{Frags: make([]*relation.Relation, g.size)}
-	for i, frag := range d.Frags {
-		nf := f(i, frag)
-		out.Frags[i] = nf
-		schema = nf.Schema()
+	if g.size > 1 && g.parallel(d.Len()) {
+		g.cluster.fork(g.size, func(i int) { out.Frags[i] = f(i, d.Frags[i]) })
+	} else {
+		for i, frag := range d.Frags {
+			out.Frags[i] = f(i, frag)
+		}
 	}
-	out.Schema = schema
+	out.Schema = out.Frags[g.size-1].Schema()
 	return out
 }
 
@@ -397,18 +469,28 @@ type Branch struct {
 // Parallel executes the branches on disjoint virtual subgroups that run
 // concurrently: the block costs the max of the branches' rounds, the max
 // of their loads, the sum of their communication volumes, and the sum of
-// their peak server usages.
+// their peak server usages. Under a parallel cluster the branch Run
+// functions execute on concurrent goroutines; each branch's trace
+// events and observer calls are buffered and replayed in branch order,
+// so the recorded streams match the sequential engine exactly. Branch
+// closures must confine shared writes to caller-owned per-branch slots.
 func (g *Group) Parallel(branches []Branch) {
+	for _, b := range branches {
+		if b.Servers <= 0 {
+			panic(fmt.Sprintf("mpc: parallel branch with %d servers", b.Servers))
+		}
+	}
+	if g.cluster.workers > 1 && len(branches) > 1 {
+		g.parallelBranches(branches)
+		return
+	}
 	maxRounds := 0
 	maxLoad := 0
 	var total int64
 	sumUsed := 0
-	rec := g.cluster.rec
+	rec := g.recorder()
 	for bi, b := range branches {
-		if b.Servers <= 0 {
-			panic(fmt.Sprintf("mpc: parallel branch with %d servers", b.Servers))
-		}
-		sub := &Group{cluster: g.cluster, size: b.Servers}
+		sub := g.child(b.Servers)
 		if rec != nil {
 			rec.BeginSpan("branch "+strconv.Itoa(bi), trace.KindParallel, b.Servers)
 		}
@@ -426,6 +508,65 @@ func (g *Group) Parallel(branches []Branch) {
 		total += s.TotalUnits
 		sumUsed += s.ServersUsed
 	}
+	g.foldParallel(maxRounds, maxLoad, total, sumUsed)
+}
+
+// parallelBranches runs a Parallel block's branches on concurrent
+// goroutines. Each branch gets a sub-group whose recorder and observer
+// are per-branch buffers; after all branches complete, the buffers are
+// replayed into the parent recorder/observer in branch order and the
+// stats are folded exactly as the sequential loop folds them.
+func (g *Group) parallelBranches(branches []Branch) {
+	rec := g.recorder()
+	obs := g.observer()
+	n := len(branches)
+	subs := make([]*Group, n)
+	bufs := make([]*trace.Buffer, n)
+	loads := make([][]int, n)
+	for i, b := range branches {
+		sub := &Group{cluster: g.cluster, size: b.Servers}
+		if rec != nil {
+			bufs[i] = trace.NewBuffer()
+			sub.rec = bufs[i]
+		}
+		if obs != nil {
+			i := i
+			sub.onRound = func(m int) { loads[i] = append(loads[i], m) }
+		}
+		subs[i] = sub
+	}
+	g.cluster.fork(n, func(i int) { branches[i].Run(subs[i]) })
+
+	maxRounds := 0
+	maxLoad := 0
+	var total int64
+	sumUsed := 0
+	for i, b := range branches {
+		if rec != nil {
+			rec.BeginSpan("branch "+strconv.Itoa(i), trace.KindParallel, b.Servers)
+			bufs[i].ReplayInto(rec)
+			rec.EndSpan()
+		}
+		if obs != nil {
+			for _, m := range loads[i] {
+				obs(m)
+			}
+		}
+		s := subs[i].Stats()
+		if s.Rounds > maxRounds {
+			maxRounds = s.Rounds
+		}
+		if s.MaxLoad > maxLoad {
+			maxLoad = s.MaxLoad
+		}
+		total += s.TotalUnits
+		sumUsed += s.ServersUsed
+	}
+	g.foldParallel(maxRounds, maxLoad, total, sumUsed)
+}
+
+// foldParallel charges a completed parallel block to this group.
+func (g *Group) foldParallel(maxRounds, maxLoad int, total int64, sumUsed int) {
 	g.stats.Rounds += maxRounds
 	if maxLoad > g.stats.MaxLoad {
 		g.stats.MaxLoad = maxLoad
@@ -442,8 +583,8 @@ func (g *Group) Subgroup(servers int, run func(sub *Group)) {
 	if servers <= 0 {
 		panic(fmt.Sprintf("mpc: subgroup with %d servers", servers))
 	}
-	sub := &Group{cluster: g.cluster, size: servers}
-	rec := g.cluster.rec
+	sub := g.child(servers)
+	rec := g.recorder()
 	if rec != nil {
 		rec.BeginSpan("subgroup "+strconv.Itoa(servers), trace.KindSubgroup, servers)
 	}
@@ -462,6 +603,9 @@ func (g *Group) Subgroup(servers int, run func(sub *Group)) {
 func (g *Group) SendTo(d *DistRelation, k int) *DistRelation {
 	if k <= 0 {
 		panic(fmt.Sprintf("mpc: SendTo with %d servers", k))
+	}
+	if g.parallel(d.Len()) {
+		return g.parSendTo(d, k)
 	}
 	out := NewDist(d.Schema, k)
 	recv := make([]int, maxInt(k, g.size))
@@ -496,17 +640,18 @@ type BranchDest struct {
 // servers that must receive it (possibly several — replication is how
 // broadcasts to branches happen). sizes gives each branch's server
 // count. The round is charged to g with per-destination loads.
+//
+// route must be pure under a parallel cluster. Routing that needs
+// per-branch round-robin rotation (inherently stateful) belongs in
+// DistributeSpread, where the engine owns the rotation.
 func (g *Group) Distribute(d *DistRelation, sizes []int, route func(src *relation.Relation, t relation.Tuple) []BranchDest) []*DistRelation {
+	offset, total := branchOffsets("Distribute", sizes)
+	if g.parallel(d.Len()) {
+		return g.parDistribute(d, sizes, offset, total, route)
+	}
 	out := make([]*DistRelation, len(sizes))
-	offset := make([]int, len(sizes))
-	total := 0
 	for i, k := range sizes {
-		if k <= 0 {
-			panic(fmt.Sprintf("mpc: Distribute branch %d with %d servers", i, k))
-		}
 		out[i] = NewDist(d.Schema, k)
-		offset[i] = total
-		total += k
 	}
 	recv := make([]int, maxInt(total, g.size))
 	for _, f := range d.Frags {
@@ -518,6 +663,77 @@ func (g *Group) Distribute(d *DistRelation, sizes []int, route func(src *relatio
 				}
 				out[dest.Branch].Frags[dest.Server].Add(t)
 				recv[offset[dest.Branch]+dest.Server]++
+			}
+		}
+	}
+	g.chargeRound(trace.OpDistribute, recv)
+	return out
+}
+
+// branchOffsets validates branch sizes and returns each branch's first
+// slot in the flattened recv vector plus the total server count.
+func branchOffsets(op string, sizes []int) (offset []int, total int) {
+	offset = make([]int, len(sizes))
+	for i, k := range sizes {
+		if k <= 0 {
+			panic(fmt.Sprintf("mpc: %s branch %d with %d servers", op, i, k))
+		}
+		offset[i] = total
+		total += k
+	}
+	return offset, total
+}
+
+// BranchSend addresses one delivery of a DistributeSpread exchange at
+// the branch level: the tuple goes to branch Branch, either replicated
+// to every branch server (Broadcast) or to the next server in the
+// branch's round-robin rotation.
+type BranchSend struct {
+	Branch    int
+	Broadcast bool
+}
+
+// DistributeSpread reshapes a distributed relation into per-branch
+// relations like Distribute, but with server selection owned by the
+// engine: pick returns, per tuple, the branches that must receive it
+// and whether delivery is broadcast or round-robin. The round-robin
+// rotation advances per branch in flattened (fragment-major) input
+// order, which both engines reproduce exactly — this is the home for
+// the "spread a branch's share evenly over its servers" pattern that
+// would otherwise need a stateful (and under the parallel engine,
+// racy and order-dependent) route closure.
+//
+// pick must be pure: deterministic, safe for concurrent calls, and
+// indifferent to how many times it is invoked per tuple (the parallel
+// engine calls it twice — once to count rotations, once to assign).
+func (g *Group) DistributeSpread(d *DistRelation, sizes []int, pick func(src *relation.Relation, t relation.Tuple) []BranchSend) []*DistRelation {
+	offset, total := branchOffsets("DistributeSpread", sizes)
+	if g.parallel(d.Len()) {
+		return g.parDistributeSpread(d, sizes, offset, total, pick)
+	}
+	out := make([]*DistRelation, len(sizes))
+	for i, k := range sizes {
+		out[i] = NewDist(d.Schema, k)
+	}
+	recv := make([]int, maxInt(total, g.size))
+	rr := make([]int, len(sizes))
+	for _, f := range d.Frags {
+		for _, t := range f.Tuples() {
+			for _, s := range pick(f, t) {
+				if s.Branch < 0 || s.Branch >= len(sizes) {
+					panic(fmt.Sprintf("mpc: DistributeSpread branch %d out of range", s.Branch))
+				}
+				if s.Broadcast {
+					for srv := 0; srv < sizes[s.Branch]; srv++ {
+						out[s.Branch].Frags[srv].Add(t)
+						recv[offset[s.Branch]+srv]++
+					}
+					continue
+				}
+				srv := rr[s.Branch] % sizes[s.Branch]
+				rr[s.Branch]++
+				out[s.Branch].Frags[srv].Add(t)
+				recv[offset[s.Branch]+srv]++
 			}
 		}
 	}

@@ -1,0 +1,61 @@
+package mpc
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentClustersStress runs several fully-instrumented clusters
+// (tracing + load observers + parallel engines) at once. Clusters share
+// nothing, so under `go test -race` this flushes out any accidental
+// global state in the engine, the trace buffers, or the builders; each
+// run is also checked against a sequential reference for equivalence.
+func TestConcurrentClustersStress(t *testing.T) {
+	// One reference capture per scenario, computed sequentially up front.
+	refs := make([]capture, len(engineScenarios))
+	for i, sc := range engineScenarios {
+		refs[i] = runScenario(5, 1, sc.run)
+	}
+
+	const clusters = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clusters; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := engineScenarios[c%len(engineScenarios)]
+			workers := 2 + c%3
+			got := runScenario(5, workers, sc.run)
+			// t.Errorf, not Fatalf: FailNow must not be called off the
+			// test goroutine.
+			want := refs[c%len(engineScenarios)]
+			if want.stats != got.stats {
+				t.Errorf("cluster %d (%s, workers=%d): stats %+v, want %+v",
+					c, sc.name, workers, got.stats, want.stats)
+			}
+			if len(want.outs) != len(got.outs) {
+				t.Errorf("cluster %d (%s): %d outputs, want %d", c, sc.name, len(got.outs), len(want.outs))
+				return
+			}
+			for i := range want.outs {
+				a, b := want.outs[i], got.outs[i]
+				if a.Len() != b.Len() {
+					t.Errorf("cluster %d (%s) fragment %d: %d tuples, want %d",
+						c, sc.name, i, b.Len(), a.Len())
+					continue
+				}
+				for j := range a.Tuples() {
+					at, bt := a.Tuples()[j], b.Tuples()[j]
+					for k := range at {
+						if at[k] != bt[k] {
+							t.Errorf("cluster %d (%s) fragment %d tuple %d differs", c, sc.name, i, j)
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

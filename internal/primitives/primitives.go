@@ -13,6 +13,12 @@
 //
 // Every primitive charges its communication to the supplied Group; all
 // run in O(1) rounds with load O(input/p) as the paper states.
+//
+// All primitives satisfy the mpc package's parallel-execution contract:
+// routing closures are pure (the ReduceByKey fan-in destination depends
+// only on the tuple's key and source index), local transforms touch no
+// shared state, and Pack sorts each server's rows by value so its group
+// assignment is independent of input order.
 package primitives
 
 import (
@@ -135,9 +141,9 @@ func SemiJoin(g *mpc.Group, r, s *mpc.DistRelation) *mpc.DistRelation {
 	rp := g.HashPartition(r, common)
 	sp := g.HashPartition(s, common)
 	out := mpc.NewDist(r.Schema, g.Size())
-	for i := range rp.Frags {
+	g.Fork(len(rp.Frags), func(i int) {
 		out.Frags[i] = rp.Frags[i].SemiJoin(sp.Frags[i])
-	}
+	})
 	return out
 }
 

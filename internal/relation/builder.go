@@ -1,0 +1,61 @@
+package relation
+
+import "fmt"
+
+// Builder assembles one Relation from independently filled shards so
+// concurrent producers never share an append target: shard i is owned
+// by exactly one goroutine at a time, and Build concatenates the shards
+// in index order. A parallel engine that processes the input in
+// index-ordered chunks and appends chunk i's output to shard i
+// therefore produces a byte-identical relation to a sequential pass,
+// for any number of workers.
+type Builder struct {
+	schema Schema
+	arity  int
+	shards [][]Tuple
+}
+
+// NewBuilder returns a builder with the given number of shards.
+func NewBuilder(schema Schema, shards int) *Builder {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Builder{schema: schema, arity: schema.Len(), shards: make([][]Tuple, shards)}
+}
+
+// Shard returns a handle to shard i. Distinct shards may be filled
+// concurrently; a single shard must only be filled by one goroutine.
+func (b *Builder) Shard(i int) Shard { return Shard{b: b, i: i} }
+
+// Shard is an append handle to one builder shard.
+type Shard struct {
+	b *Builder
+	i int
+}
+
+// Add appends a tuple to the shard; it must match the schema arity.
+func (s Shard) Add(t Tuple) {
+	if len(t) != s.b.arity {
+		panic(fmt.Sprintf("relation: tuple arity %d != schema arity %d", len(t), s.b.arity))
+	}
+	s.b.shards[s.i] = append(s.b.shards[s.i], t)
+}
+
+// Len returns the total tuple count across shards.
+func (b *Builder) Len() int {
+	n := 0
+	for _, s := range b.shards {
+		n += len(s)
+	}
+	return n
+}
+
+// Build concatenates the shards in index order into one relation. The
+// builder must not be used afterwards.
+func (b *Builder) Build() *Relation {
+	tuples := make([]Tuple, 0, b.Len())
+	for _, s := range b.shards {
+		tuples = append(tuples, s...)
+	}
+	return FromTuples(b.schema, tuples)
+}

@@ -1,0 +1,114 @@
+package relation
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBuilderConcatenatesShardsInOrder(t *testing.T) {
+	schema := NewSchema(0)
+	b := NewBuilder(schema, 3)
+	// Fill shards in reverse order; Build must still concatenate by
+	// shard index, not fill order.
+	b.Shard(2).Add(Tuple{5})
+	b.Shard(1).Add(Tuple{3})
+	b.Shard(1).Add(Tuple{4})
+	b.Shard(0).Add(Tuple{1})
+	b.Shard(0).Add(Tuple{2})
+	if b.Len() != 5 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	r := b.Build()
+	for i, want := range []Value{1, 2, 3, 4, 5} {
+		if r.Tuples()[i][0] != want {
+			t.Fatalf("tuple %d = %v, want %d", i, r.Tuples()[i], want)
+		}
+	}
+}
+
+func TestBuilderConcurrentShardsDeterministic(t *testing.T) {
+	schema := NewSchema(0, 1)
+	build := func(workers int) *Relation {
+		b := NewBuilder(schema, workers)
+		var wg sync.WaitGroup
+		per := 500
+		for s := 0; s < workers; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				sh := b.Shard(s)
+				for i := 0; i < per; i++ {
+					sh.Add(Tuple{Value(s), Value(i)})
+				}
+			}(s)
+		}
+		wg.Wait()
+		return b.Build()
+	}
+	a, c := build(4), build(4)
+	if a.Len() != 2000 || c.Len() != 2000 {
+		t.Fatalf("lens %d %d", a.Len(), c.Len())
+	}
+	for i := range a.Tuples() {
+		at, ct := a.Tuples()[i], c.Tuples()[i]
+		if at[0] != ct[0] || at[1] != ct[1] {
+			t.Fatalf("tuple %d differs across runs: %v vs %v", i, at, ct)
+		}
+	}
+}
+
+func TestBuilderArityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch should panic")
+		}
+	}()
+	NewBuilder(NewSchema(0, 1), 1).Shard(0).Add(Tuple{1})
+}
+
+func TestFromTuples(t *testing.T) {
+	schema := NewSchema(0, 1)
+	ts := []Tuple{{1, 2}, {3, 4}}
+	r := FromTuples(schema, ts)
+	if r.Len() != 2 || !r.Schema().Equal(schema) {
+		t.Fatalf("FromTuples: len %d schema %v", r.Len(), r.Schema())
+	}
+	if &r.Tuples()[0] != &ts[0] {
+		t.Fatal("FromTuples should not copy the slice")
+	}
+}
+
+func TestPositionsAndGrow(t *testing.T) {
+	schema := NewSchema(10, 20, 30)
+	pos := schema.Positions([]int{30, 10})
+	if len(pos) != 2 || pos[0] != 2 || pos[1] != 0 {
+		t.Fatalf("Positions = %v", pos)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("unknown attribute should panic")
+			}
+		}()
+		schema.Positions([]int{99})
+	}()
+	r := New(schema)
+	r.Grow(100)
+	if r.Len() != 0 {
+		t.Fatalf("Grow changed Len to %d", r.Len())
+	}
+	r.Add(Tuple{1, 2, 3})
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d after Add", r.Len())
+	}
+}
+
+func TestDecodeKeyRejectsBadLength(t *testing.T) {
+	if _, ok := DecodeKey("1234567"); ok {
+		t.Fatal("7-byte key should be rejected")
+	}
+	vals, ok := DecodeKey("")
+	if !ok || len(vals) != 0 {
+		t.Fatalf("empty key: ok=%v vals=%v", ok, vals)
+	}
+}

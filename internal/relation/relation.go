@@ -180,17 +180,56 @@ func Key(t Tuple, positions []int) string {
 	return string(buf)
 }
 
-// KeyOn encodes the projection of t onto the named attributes.
-func (r *Relation) KeyOn(t Tuple, attrs []int) string {
+// DecodeKey inverts Key: it unpacks an encoded key back into the
+// projected values. ok is false when the string is not a multiple of
+// the 8-byte value width (i.e. not a Key output).
+func DecodeKey(key string) (vals []Value, ok bool) {
+	if len(key)%8 != 0 {
+		return nil, false
+	}
+	vals = make([]Value, len(key)/8)
+	for i := range vals {
+		vals[i] = Value(binary.BigEndian.Uint64([]byte(key[8*i : 8*i+8])))
+	}
+	return vals, true
+}
+
+// Positions resolves the named attributes to tuple positions under this
+// schema, panicking on a missing attribute. Precomputing positions once
+// and calling Key directly avoids KeyOn's per-tuple resolution in hot
+// loops.
+func (s Schema) Positions(attrs []int) []int {
 	pos := make([]int, len(attrs))
 	for i, a := range attrs {
-		p := r.schema.Pos(a)
+		p := s.Pos(a)
 		if p < 0 {
-			panic(fmt.Sprintf("relation: attribute %d not in schema %v", a, r.schema))
+			panic(fmt.Sprintf("relation: attribute %d not in schema %v", a, s))
 		}
 		pos[i] = p
 	}
-	return Key(t, pos)
+	return pos
+}
+
+// KeyOn encodes the projection of t onto the named attributes.
+func (r *Relation) KeyOn(t Tuple, attrs []int) string {
+	return Key(t, r.schema.Positions(attrs))
+}
+
+// Grow reserves capacity for at least n additional tuples.
+func (r *Relation) Grow(n int) {
+	if need := len(r.tuples) + n; need > cap(r.tuples) {
+		grown := make([]Tuple, len(r.tuples), need)
+		copy(grown, r.tuples)
+		r.tuples = grown
+	}
+}
+
+// FromTuples wraps an existing tuple slice as a relation, taking
+// ownership of the slice. Callers guarantee every tuple matches the
+// schema arity; this is the zero-copy assembly path for engine-internal
+// concatenation (see Builder).
+func FromTuples(schema Schema, tuples []Tuple) *Relation {
+	return &Relation{schema: schema, tuples: tuples}
 }
 
 // Sort orders tuples lexicographically in place (for deterministic

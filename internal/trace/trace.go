@@ -254,8 +254,10 @@ func (NopRecorder) BeginSpan(string, SpanKind, int) {}
 func (NopRecorder) EndSpan()                        {}
 func (NopRecorder) Exchange(Op, []int)              {}
 
-// Collector is the Recorder that builds the span tree. It is not
-// safe for concurrent use; the simulator is single-goroutine.
+// Collector is the Recorder that builds the span tree. It is not safe
+// for concurrent use: the simulator emits into it from one goroutine
+// only — concurrent Parallel branches record into per-branch Buffers
+// that are replayed here in branch order after the block completes.
 type Collector struct {
 	root *Span
 	cur  *Span

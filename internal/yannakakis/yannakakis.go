@@ -91,16 +91,16 @@ func pairJoin(g *mpc.Group, a, b *mpc.DistRelation) *mpc.DistRelation {
 		}
 		bs := g.Broadcast(small)
 		out := mpc.NewDist(a.Schema.Union(b.Schema), g.Size())
-		for i := range large.Frags {
+		g.Fork(len(large.Frags), func(i int) {
 			out.Frags[i] = large.Frags[i].Join(bs.Frags[i])
-		}
+		})
 		return out
 	}
 	ap := g.HashPartition(a, common)
 	bp := g.HashPartition(b, common)
 	out := mpc.NewDist(a.Schema.Union(b.Schema), g.Size())
-	for i := range ap.Frags {
+	g.Fork(len(ap.Frags), func(i int) {
 		out.Frags[i] = ap.Frags[i].Join(bp.Frags[i])
-	}
+	})
 	return out
 }

@@ -1,0 +1,202 @@
+// Parallel-engine benchmarks: the same Table 1 workloads as
+// bench_test.go, run under the sequential engine and under the
+// goroutine-parallel engine, so `go test -bench=Parallel` shows the
+// wall-clock effect of -workers. `go test -run TestBenchParallelJSON
+// -benchjson` additionally writes BENCH_parallel.json with machine info,
+// per-row timings and speedups — after asserting that loads and emitted
+// counts are identical across engines (the speedup must never come from
+// computing something else).
+package coverpack_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"coverpack"
+	"coverpack/internal/hypergraph"
+	"coverpack/internal/workload"
+)
+
+var benchJSON = flag.Bool("benchjson", false, "write BENCH_parallel.json (use with -run TestBenchParallelJSON)")
+
+// benchWorkerSet is the worker counts the benchmarks compare: sequential
+// plus the machine's CPU count (or 4 on a single-CPU machine, so the
+// parallel code paths are still exercised and overhead is visible).
+func benchWorkerSet() []int {
+	if n := runtime.NumCPU(); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1, 4}
+}
+
+func benchRun(b *testing.B, alg coverpack.Algorithm, in *coverpack.Instance, p, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := coverpack.ExecuteOpts(alg, in, p, coverpack.ExecOptions{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkParallelAcyclicOptimal: the paper's algorithm on the
+// semi-join heavy-hub instance, sequential vs parallel engine.
+func BenchmarkParallelAcyclicOptimal(b *testing.B) {
+	in := coverpack.HeavyHub(hypergraph.SemiJoinExample(), 4000)
+	for _, w := range benchWorkerSet() {
+		w := w
+		b.Run("workers="+itoa(w), func(b *testing.B) {
+			benchRun(b, coverpack.AlgAcyclicOptimal, in, 16, w)
+		})
+	}
+}
+
+// BenchmarkParallelSkewAware: the one-round skew-aware baseline on the
+// star-dual hard instance.
+func BenchmarkParallelSkewAware(b *testing.B) {
+	in := workload.StarDualHard(3, 4000, 1)
+	for _, w := range benchWorkerSet() {
+		w := w
+		b.Run("workers="+itoa(w), func(b *testing.B) {
+			benchRun(b, coverpack.AlgSkewAware, in, 16, w)
+		})
+	}
+}
+
+// BenchmarkParallelHyperCube: vanilla HyperCube on the triangle
+// matching instance.
+func BenchmarkParallelHyperCube(b *testing.B) {
+	in := coverpack.Matching(hypergraph.TriangleJoin(), 4000)
+	for _, w := range benchWorkerSet() {
+		w := w
+		b.Run("workers="+itoa(w), func(b *testing.B) {
+			benchRun(b, coverpack.AlgHyperCube, in, 16, w)
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf []byte
+	for n > 0 {
+		buf = append([]byte{byte('0' + n%10)}, buf...)
+		n /= 10
+	}
+	return string(buf)
+}
+
+// benchRow is one line of BENCH_parallel.json.
+type benchRow struct {
+	Query     string      `json:"query"`
+	Algorithm string      `json:"algorithm"`
+	N         int         `json:"n"`
+	Ps        []int       `json:"ps"`
+	SeqNs     int64       `json:"seq_ns"`
+	ParNs     int64       `json:"par_ns"`
+	Speedup   float64     `json:"speedup"`
+	Emitted   int64       `json:"emitted"`
+	Loads     map[int]int `json:"loads"`
+}
+
+type benchFile struct {
+	NumCPU     int        `json:"numcpu"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Workers    int        `json:"workers"`
+	Rows       []benchRow `json:"rows"`
+}
+
+// TestBenchParallelJSON times the Table 1 N=4000 sweep under both
+// engines and writes BENCH_parallel.json. It is a test rather than a
+// benchmark so it can assert result equality before reporting a
+// speedup. Run with: go test -run TestBenchParallelJSON -benchjson
+func TestBenchParallelJSON(t *testing.T) {
+	if !*benchJSON {
+		t.Skip("pass -benchjson to time the sweep and write BENCH_parallel.json")
+	}
+	const n = 4000
+	parWorkers := runtime.NumCPU()
+	if parWorkers < 2 {
+		// Single-CPU machine: still exercise the parallel engine so the
+		// equality assertions hold, but the recorded speedup will honestly
+		// hover around 1.0 (or below, from goroutine overhead).
+		parWorkers = 4
+	}
+	ps := []int{4, 16, 64}
+
+	type job struct {
+		query string
+		alg   coverpack.Algorithm
+		in    *coverpack.Instance
+	}
+	jobs := []job{
+		{"semijoin-example/heavyhub", coverpack.AlgSkewAware, coverpack.HeavyHub(hypergraph.SemiJoinExample(), n)},
+		{"semijoin-example/heavyhub", coverpack.AlgAcyclicOptimal, coverpack.HeavyHub(hypergraph.SemiJoinExample(), n)},
+		{"stardual-3/hard", coverpack.AlgSkewAware, workload.StarDualHard(3, n, 1)},
+		{"stardual-3/hard", coverpack.AlgAcyclicOptimal, workload.StarDualHard(3, n, 1)},
+		{"triangle/matching", coverpack.AlgHyperCube, coverpack.Matching(hypergraph.TriangleJoin(), n)},
+	}
+
+	out := benchFile{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: parWorkers}
+	for _, j := range jobs {
+		seqStart := time.Now()
+		seqProf, _, err := coverpack.LoadScalingOpts(j.alg, j.in, ps, coverpack.ExecOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s/%s sequential: %v", j.query, j.alg, err)
+		}
+		seqNs := time.Since(seqStart).Nanoseconds()
+
+		parStart := time.Now()
+		parProf, _, err := coverpack.LoadScalingOpts(j.alg, j.in, ps, coverpack.ExecOptions{Workers: parWorkers})
+		if err != nil {
+			t.Fatalf("%s/%s parallel: %v", j.query, j.alg, err)
+		}
+		parNs := time.Since(parStart).Nanoseconds()
+
+		// The speedup only counts if the measured experiment is unchanged.
+		if !reflect.DeepEqual(seqProf, parProf) {
+			t.Fatalf("%s/%s: load profile changed under parallel engine:\n  seq %+v\n  par %+v",
+				j.query, j.alg, seqProf, parProf)
+		}
+		seqRep, err := coverpack.ExecuteOpts(j.alg, j.in, 16, coverpack.ExecOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parRep, err := coverpack.ExecuteOpts(j.alg, j.in, 16, coverpack.ExecOptions{Workers: parWorkers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seqRep.Emitted != parRep.Emitted {
+			t.Fatalf("%s/%s: emitted %d sequential vs %d parallel", j.query, j.alg, seqRep.Emitted, parRep.Emitted)
+		}
+
+		out.Rows = append(out.Rows, benchRow{
+			Query:     j.query,
+			Algorithm: j.alg.String(),
+			N:         n,
+			Ps:        ps,
+			SeqNs:     seqNs,
+			ParNs:     parNs,
+			Speedup:   float64(seqNs) / float64(parNs),
+			Emitted:   seqRep.Emitted,
+			Loads:     seqProf.Points,
+		})
+		t.Logf("%-28s %-22s seq=%8.2fms par=%8.2fms speedup=%.2fx",
+			j.query, j.alg, float64(seqNs)/1e6, float64(parNs)/1e6, float64(seqNs)/float64(parNs))
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_parallel.json (numcpu=%d, workers=%d)", out.NumCPU, out.Workers)
+}
