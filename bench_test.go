@@ -27,6 +27,7 @@ var cfg = experiments.Config{Small: true}
 func BenchmarkTable1OneRoundAcyclic(b *testing.B) {
 	q := hypergraph.StarDualJoin(3)
 	in := workload.StarDualHard(3, 600, 1)
+	b.ReportAllocs()
 	var load int
 	for i := 0; i < b.N; i++ {
 		rep, err := coverpack.Execute(coverpack.AlgSkewAware, in, 16)
@@ -43,6 +44,7 @@ func BenchmarkTable1OneRoundAcyclic(b *testing.B) {
 // the same instance (Table 1, acyclic/multi-round cell: Õ(N/p^{1/ρ*})).
 func BenchmarkTable1MultiRoundAcyclic(b *testing.B) {
 	in := workload.StarDualHard(3, 600, 1)
+	b.ReportAllocs()
 	var load int
 	for i := 0; i < b.N; i++ {
 		rep, err := coverpack.Execute(coverpack.AlgAcyclicOptimal, in, 16)
@@ -58,6 +60,7 @@ func BenchmarkTable1MultiRoundAcyclic(b *testing.B) {
 // triangle (Table 1, cyclic/one-round cell).
 func BenchmarkTable1OneRoundCyclic(b *testing.B) {
 	in := coverpack.Matching(hypergraph.TriangleJoin(), 600)
+	b.ReportAllocs()
 	var load int
 	for i := 0; i < b.N; i++ {
 		rep, err := coverpack.Execute(coverpack.AlgHyperCube, in, 16)
@@ -81,6 +84,7 @@ func BenchmarkTable1LowerBound(b *testing.B) {
 	}
 	in := workload.ProvableHard(q, a.Witness, 1000, 9)
 	out := int64(in.Rel(0).Len()) * int64(in.Rel(1).Len())
+	b.ReportAllocs()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		r := lowerbound.MinLoad(a, in, 64, out)
@@ -153,6 +157,7 @@ func BenchmarkTable1MultiRoundCyclic(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	var load int
 	for i := 0; i < b.N; i++ {
 		rep, err := coverpack.Execute(coverpack.AlgTriangle, in, 27)
@@ -299,6 +304,7 @@ func BenchmarkTable1MultiRoundLW(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	var load int
 	for i := 0; i < b.N; i++ {
 		rep, err := coverpack.Execute(coverpack.AlgLoomisWhitney, in, 16)

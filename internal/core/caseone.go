@@ -63,12 +63,13 @@ func (ex *executor) caseIPeel(g *mpc.Group, alive hypergraph.EdgeSet, vars map[i
 			rows := gatherRows(g, degs[e], func(f *relation.Relation, t relation.Tuple) bool {
 				return f.Get(t, ex.cntAttr) > L
 			})
-			for _, t := range rows.Tuples() {
-				heavySet[rows.Get(t, x)] = true
+			xp := rows.Schema().Pos(x)
+			for i := 0; i < rows.Len(); i++ {
+				heavySet[rows.Row(i)[xp]] = true
 			}
 		}
 		heavyVals = make([]relation.Value, 0, len(heavySet))
-		for v := range heavySet {
+		for v := range heavySet { // map order is random; sorted below
 			heavyVals = append(heavyVals, v)
 		}
 		sort.Slice(heavyVals, func(i, j int) bool { return heavyVals[i] < heavyVals[j] })
@@ -85,8 +86,9 @@ func (ex *executor) caseIPeel(g *mpc.Group, alive hypergraph.EdgeSet, vars map[i
 		chargeSetBroadcast(g, len(heavySet))
 		lightW := g.Local(sums, func(_ int, f *relation.Relation) *relation.Relation {
 			out := relation.New(f.Schema())
-			for _, t := range f.Tuples() {
-				if !heavySet[f.Get(t, x)] {
+			xp := f.Schema().Pos(x)
+			for i := 0; i < f.Len(); i++ {
+				if t := f.Row(i); !heavySet[t[xp]] {
 					out.Add(t)
 				}
 			}
@@ -235,6 +237,16 @@ func (ex *executor) caseIPeel(g *mpc.Group, alive hypergraph.EdgeSet, vars map[i
 	// spread round-robin. Relations without x are copied to every
 	// branch. All movements are single Distribute exchanges.
 	parts := make(map[int][]*mpc.DistRelation, alive.Len())
+	// Per-branch send lists, shared across tuples: the pick closures
+	// below run once (twice under the parallel engine) per tuple, and
+	// the engines only read the returned slice, so allocating it per
+	// call would dominate the exchange's allocation profile.
+	unicast := make([][]mpc.BranchSend, len(plans))
+	bcast := make([][]mpc.BranchSend, len(plans))
+	for bi := range plans {
+		unicast[bi] = []mpc.BranchSend{{Branch: bi}}
+		bcast[bi] = []mpc.BranchSend{{Branch: bi, Broadcast: true}}
+	}
 	g.Span("heavy/light split", func() {
 		for _, e := range alive.Edges() {
 			if vars[e].Contains(x) {
@@ -248,8 +260,20 @@ func (ex *executor) caseIPeel(g *mpc.Group, alive hypergraph.EdgeSet, vars map[i
 				// degree ≤ L) to learn their group ids, then shipped.
 				heavyPart := g.Local(rels[e], func(_ int, f *relation.Relation) *relation.Relation {
 					out := relation.New(f.Schema())
-					for _, t := range f.Tuples() {
-						if heavySet[f.Get(t, x)] {
+					xp := f.Schema().Pos(x)
+					// Count first so the arena is sized in one allocation.
+					cnt := 0
+					for i := 0; i < f.Len(); i++ {
+						if heavySet[f.Row(i)[xp]] {
+							cnt++
+						}
+					}
+					if cnt == 0 {
+						return out
+					}
+					out.Grow(cnt)
+					for i := 0; i < f.Len(); i++ {
+						if t := f.Row(i); heavySet[t[xp]] {
 							out.Add(t)
 						}
 					}
@@ -260,13 +284,24 @@ func (ex *executor) caseIPeel(g *mpc.Group, alive hypergraph.EdgeSet, vars map[i
 					if !ok {
 						return nil
 					}
-					return []mpc.BranchSend{{Branch: bi}}
+					return unicast[bi]
 				})
 
 				lightPart := g.Local(rels[e], func(_ int, f *relation.Relation) *relation.Relation {
 					out := relation.New(f.Schema())
-					for _, t := range f.Tuples() {
-						if !heavySet[f.Get(t, x)] {
+					xp := f.Schema().Pos(x)
+					cnt := 0
+					for i := 0; i < f.Len(); i++ {
+						if !heavySet[f.Row(i)[xp]] {
+							cnt++
+						}
+					}
+					if cnt == 0 {
+						return out
+					}
+					out.Grow(cnt)
+					for i := 0; i < f.Len(); i++ {
+						if t := f.Row(i); !heavySet[t[xp]] {
 							out.Add(t)
 						}
 					}
@@ -277,15 +312,21 @@ func (ex *executor) caseIPeel(g *mpc.Group, alive hypergraph.EdgeSet, vars map[i
 					relP := g.HashPartition(lightPart, []int{x})
 					asgP := g.HashPartition(assign, []int{x})
 					groupOf := make(map[*relation.Relation]map[relation.Value]int64)
+					axp := asgP.Schema.Pos(x)
+					agp := asgP.Schema.Pos(ex.grpAttr)
 					for i := range relP.Frags {
 						m := make(map[relation.Value]int64)
 						af := asgP.Frags[i]
-						for _, t := range af.Tuples() {
-							m[af.Get(t, x)] = af.Get(t, ex.grpAttr)
+						for j := 0; j < af.Len(); j++ {
+							t := af.Row(j)
+							m[t[axp]] = t[agp]
 						}
 						groupOf[relP.Frags[i]] = m
 					}
-					replicateLight := sxSet.Contains(e)
+					lightSends := unicast
+					if sxSet.Contains(e) {
+						lightSends = bcast
+					}
 					lParts = g.DistributeSpread(relP, sizes, func(f *relation.Relation, t relation.Tuple) []mpc.BranchSend {
 						m := groupOf[f]
 						if m == nil {
@@ -299,7 +340,7 @@ func (ex *executor) caseIPeel(g *mpc.Group, alive hypergraph.EdgeSet, vars map[i
 						if !ok {
 							return nil
 						}
-						return []mpc.BranchSend{{Branch: bi, Broadcast: replicateLight}}
+						return lightSends[bi]
 					})
 				}
 				merged := make([]*mpc.DistRelation, len(plans))
@@ -369,8 +410,9 @@ func (ex *executor) heavyBranch(sub *mpc.Group, alive hypergraph.EdgeSet, vars m
 			nv := nvars[e].Clone()
 			nv.Remove(x)
 			nvars[e] = nv
+			ns := relation.NewSchema(nv.Attrs()...)
 			part = sub.Local(part, func(_ int, f *relation.Relation) *relation.Relation {
-				return f.Project(nv.Attrs()...)
+				return f.ProjectTo(ns)
 			})
 		}
 		nrels[e] = part

@@ -22,8 +22,8 @@ import (
 func gatherRows(g *mpc.Group, d *mpc.DistRelation, keep func(f *relation.Relation, t relation.Tuple) bool) *relation.Relation {
 	filtered := g.Local(d, func(_ int, f *relation.Relation) *relation.Relation {
 		out := relation.New(f.Schema())
-		for _, t := range f.Tuples() {
-			if keep(f, t) {
+		for i := 0; i < f.Len(); i++ {
+			if t := f.Row(i); keep(f, t) {
 				out.Add(t)
 			}
 		}
@@ -54,8 +54,11 @@ func (ex *executor) degreesForValues(g *mpc.Group, degs *mpc.DistRelation, x int
 		return values[f.Get(t, x)]
 	})
 	out := make(map[relation.Value]int64, rows.Len())
-	for _, t := range rows.Tuples() {
-		out[rows.Get(t, x)] = rows.Get(t, ex.cntAttr)
+	xp := rows.Schema().Pos(x)
+	cp := rows.Schema().Pos(ex.cntAttr)
+	for i := 0; i < rows.Len(); i++ {
+		t := rows.Row(i)
+		out[t[xp]] = t[cp]
 	}
 	return out
 }
@@ -71,18 +74,24 @@ func (ex *executor) groupSums(g *mpc.Group, counts, assign *mpc.DistRelation, x 
 	joined := mpc.NewDist(joinedSchema, g.Size())
 	gp := joinedSchema.Pos(ex.grpAttr)
 	cpos := joinedSchema.Pos(ex.cntAttr)
+	axp := ap.Schema.Pos(x)
+	agp := ap.Schema.Pos(ex.grpAttr)
+	cxp := cp.Schema.Pos(x)
+	ccp := cp.Schema.Pos(ex.cntAttr)
+	nt := make(relation.Tuple, 2)
 	for i := range cp.Frags {
 		cf, af := cp.Frags[i], ap.Frags[i]
 		groupOf := make(map[relation.Value]int64, af.Len())
-		for _, t := range af.Tuples() {
-			groupOf[af.Get(t, x)] = af.Get(t, ex.grpAttr)
+		for j := 0; j < af.Len(); j++ {
+			t := af.Row(j)
+			groupOf[t[axp]] = t[agp]
 		}
 		out := relation.New(joinedSchema)
-		for _, t := range cf.Tuples() {
-			if gid, ok := groupOf[cf.Get(t, x)]; ok {
-				nt := make(relation.Tuple, 2)
+		for j := 0; j < cf.Len(); j++ {
+			t := cf.Row(j)
+			if gid, ok := groupOf[t[cxp]]; ok {
 				nt[gp] = gid
-				nt[cpos] = cf.Get(t, ex.cntAttr)
+				nt[cpos] = t[ccp]
 				out.Add(nt)
 			}
 		}
@@ -91,8 +100,11 @@ func (ex *executor) groupSums(g *mpc.Group, counts, assign *mpc.DistRelation, x 
 	reduced := primitives.ReduceByKey(g, joined, []int{ex.grpAttr}, ex.cntAttr)
 	rows := g.Gather(reduced)
 	out := make(map[int64]int64, rows.Len())
-	for _, t := range rows.Tuples() {
-		out[rows.Get(t, ex.grpAttr)] = rows.Get(t, ex.cntAttr)
+	rgp := rows.Schema().Pos(ex.grpAttr)
+	rcp := rows.Schema().Pos(ex.cntAttr)
+	for i := 0; i < rows.Len(); i++ {
+		t := rows.Row(i)
+		out[t[rgp]] = t[rcp]
 	}
 	return out
 }

@@ -65,15 +65,17 @@ func RunTriangle(g *mpc.Group, in *relation.Instance) (*Result, error) {
 				degs := primitives.Degrees(g, d, a, cntAttr)
 				rows := g.Gather(g.Local(degs, func(_ int, f *relation.Relation) *relation.Relation {
 					out := relation.New(f.Schema())
-					for _, t := range f.Tuples() {
-						if f.Get(t, cntAttr) > delta {
+					cp := f.Schema().Pos(cntAttr)
+					for i := 0; i < f.Len(); i++ {
+						if t := f.Row(i); t[cp] > delta {
 							out.Add(t)
 						}
 					}
 					return out
 				}))
-				for _, t := range rows.Tuples() {
-					heavy[a][rows.Get(t, a)] = true
+				ap := rows.Schema().Pos(a)
+				for i := 0; i < rows.Len(); i++ {
+					heavy[a][rows.Row(i)[ap]] = true
 				}
 			}
 		}
@@ -123,8 +125,8 @@ func RunTriangle(g *mpc.Group, in *relation.Instance) (*Result, error) {
 			em := edgeMask(e)
 			src := in.Rel(e).Dedup()
 			dst := strat.Rel(e)
-			for _, t := range src.Tuples() {
-				if pattern(src, t) == mask&em {
+			for i := 0; i < src.Len(); i++ {
+				if t := src.Row(i); pattern(src, t) == mask&em {
 					dst.Add(t)
 				}
 			}
@@ -246,7 +248,7 @@ func heavyValuesIn(in *relation.Instance, q *hypergraph.Query, h int) []relation
 		}
 	}
 	var out []relation.Value
-	for v, c := range counts {
+	for v, c := range counts { // map order is random; sorted below
 		if c == len(es) {
 			out = append(out, v)
 		}

@@ -1,0 +1,75 @@
+package hashtab
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzTableMatchesLegacyMap drives a Table and the legacy
+// map[string]int side by side over the same random tuple stream: every
+// insert must agree on novelty and on the dense entry index, every
+// lookup on membership, and every hash on the legacy FNV-over-Key
+// destination for a range of server counts.
+func FuzzTableMatchesLegacyMap(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(2))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 255, 255}, uint8(3))
+	f.Add([]byte{7}, uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, arityByte uint8) {
+		arity := int(arityByte)%4 + 1
+		pos := make([]int, arity)
+		for i := range pos {
+			pos[i] = i
+		}
+		tab := New(arity, 0)
+		legacy := make(map[string]int)
+		row := make([]int64, arity)
+		buf := make([]byte, 8*arity)
+		for off := 0; off+arity <= len(data); off += arity {
+			for i := 0; i < arity; i++ {
+				// Spread the byte across lanes so distinct bytes make
+				// distinct values while collisions stay frequent.
+				row[i] = int64(data[off+i]) - 128
+				binary.BigEndian.PutUint64(buf[8*i:], uint64(row[i]))
+			}
+			key := string(buf)
+
+			if got, want := Hash(row, pos), legacyFNV(buf); got != want {
+				t.Fatalf("Hash(%v) = %#x, legacy %#x", row, got, want)
+			}
+			for _, p := range []uint64{1, 2, 7, 16, 101} {
+				if Hash(row, pos)%p != legacyFNV(buf)%p {
+					t.Fatalf("destination diverged at p=%d", p)
+				}
+			}
+
+			legacyIdx, legacyFound := legacy[key], false
+			if _, ok := legacy[key]; ok {
+				legacyFound = true
+			} else {
+				legacyIdx = len(legacy)
+				legacy[key] = legacyIdx
+			}
+			idx, found := tab.Insert(row, pos)
+			if idx != legacyIdx || found != legacyFound {
+				t.Fatalf("Insert(%v) = (%d, %v), legacy map gives (%d, %v)",
+					row, idx, found, legacyIdx, legacyFound)
+			}
+			if got := tab.Find(row, pos); got != legacyIdx {
+				t.Fatalf("Find(%v) = %d, legacy %d", row, got, legacyIdx)
+			}
+		}
+		if tab.Len() != len(legacy) {
+			t.Fatalf("Len() = %d, legacy map has %d keys", tab.Len(), len(legacy))
+		}
+	})
+}
+
+// legacyFNV is FNV-64a over the encoded key bytes, inlined to keep the
+// fuzz target free of test-helper indirection.
+func legacyFNV(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}

@@ -47,8 +47,9 @@ func heavyValues(g *mpc.Group, in *relation.Instance, threshold int64, countAttr
 			// needs the cutoff lists to classify its tuples).
 			hv := g.Local(degs, func(_ int, f *relation.Relation) *relation.Relation {
 				out := relation.New(f.Schema())
-				for _, t := range f.Tuples() {
-					if f.Get(t, countAttr) > threshold {
+				cp := f.Schema().Pos(countAttr)
+				for i := 0; i < f.Len(); i++ {
+					if t := f.Row(i); t[cp] > threshold {
 						out.Add(t)
 					}
 				}
@@ -56,8 +57,9 @@ func heavyValues(g *mpc.Group, in *relation.Instance, threshold int64, countAttr
 			})
 			all := g.Broadcast(hv)
 			one := all.Frags[0]
-			for _, t := range one.Tuples() {
-				heavy[a][one.Get(t, a)] = true
+			ap := one.Schema().Pos(a)
+			for i := 0; i < one.Len(); i++ {
+				heavy[a][one.Row(i)[ap]] = true
 			}
 		}
 	}
@@ -147,8 +149,8 @@ func SkewAwareWithThreshold(g *mpc.Group, in *relation.Instance, threshold int64
 			em := edgeMask(e)
 			r := in.Rel(e)
 			dst := st.inst.Rel(e)
-			for _, tp := range r.Tuples() {
-				if mf(r, tp) == pattern&em {
+			for i := 0; i < r.Len(); i++ {
+				if tp := r.Row(i); mf(r, tp) == pattern&em {
 					dst.Add(tp)
 				}
 			}

@@ -117,11 +117,12 @@ func MeasureJ(a *Analysis, in *relation.Instance, L int) JResult {
 		for _, v := range q.EdgeVars(e).Attrs() {
 			owner[v] = e
 			counts := make(map[relation.Value]int64)
-			for _, t := range r.Tuples() {
-				counts[r.Get(t, v)]++
+			vp := r.Schema().Pos(v)
+			for i := 0; i < r.Len(); i++ {
+				counts[r.Row(i)[vp]]++
 			}
 			vals := make([]relation.Value, 0, len(counts))
-			for val := range counts {
+			for val := range counts { // map order is random; ranked below
 				vals = append(vals, val)
 			}
 			sort.Slice(vals, func(i, j int) bool {
@@ -154,7 +155,8 @@ func MeasureJ(a *Analysis, in *relation.Instance, L int) JResult {
 				boxes[v] = set
 			}
 			var cnt int64
-			for _, t := range r.Tuples() {
+			for i := 0; i < r.Len(); i++ {
+				t := r.Row(i)
 				ok := true
 				for _, v := range q.EdgeVars(e).Attrs() {
 					if !boxes[v][r.Get(t, v)] {

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"coverpack/internal/hashtab"
 	"coverpack/internal/relation"
 	"coverpack/internal/trace"
 )
@@ -193,13 +194,14 @@ func flatChunks(d *DistRelation, workers int) [][]frange {
 	return out
 }
 
-// forEachTuple visits the tuples of the chunk in flattened order.
+// forEachTuple visits the tuples of the chunk in flattened order. Rows
+// are arena views valid for the duration of fn (the callbacks copy on
+// append, never retain).
 func forEachTuple(d *DistRelation, chunk []frange, fn func(f *relation.Relation, src int, t relation.Tuple, flat int)) {
 	for _, r := range chunk {
 		f := d.Frags[r.frag]
-		ts := f.Tuples()
 		for i := r.lo; i < r.hi; i++ {
-			fn(f, r.frag, ts[i], r.base+i-r.lo)
+			fn(f, r.frag, f.Row(i), r.base+i-r.lo)
 		}
 	}
 }
@@ -236,7 +238,7 @@ func (g *Group) parHashPartition(d *DistRelation, pos []int) *DistRelation {
 	g.cluster.fork(m, func(ci int) {
 		recv := make([]int, k)
 		forEachTuple(d, chunks[ci], func(_ *relation.Relation, src int, t relation.Tuple, _ int) {
-			dest := int(hashKey(relation.Key(t, pos)) % uint64(k))
+			dest := int(hashtab.Hash(t, pos) % uint64(k))
 			builders[dest].Shard(ci).Add(t)
 			if charge || dest != src || src >= k {
 				recv[dest]++
@@ -432,21 +434,24 @@ func (g *Group) assembleBranches(schema relation.Schema, sizes []int, builders [
 }
 
 // collect concatenates fragments in order, fanning the copy out when
-// the relation is large.
+// the relation is large. Each fragment's arena is copied straight into
+// its slice of one output arena (offsets are in values, rows × arity),
+// so the merged relation is built with a single allocation.
 func (g *Group) collect(d *DistRelation) *relation.Relation {
 	total := d.Len()
 	if !g.parallel(total) {
 		return d.Collect()
 	}
+	arity := d.Schema.Len()
 	offs := make([]int, len(d.Frags))
 	off := 0
 	for i, f := range d.Frags {
 		offs[i] = off
-		off += f.Len()
+		off += f.Len() * arity
 	}
-	tuples := make([]relation.Tuple, total)
+	data := make([]relation.Value, total*arity)
 	g.cluster.fork(len(d.Frags), func(i int) {
-		copy(tuples[offs[i]:], d.Frags[i].Tuples())
+		copy(data[offs[i]:], d.Frags[i].Data())
 	})
-	return relation.FromTuples(d.Schema, tuples)
+	return relation.FromData(d.Schema, data, total)
 }

@@ -66,6 +66,7 @@ import (
 	"hash/fnv"
 	"strconv"
 
+	"coverpack/internal/hashtab"
 	"coverpack/internal/relation"
 	"coverpack/internal/trace"
 )
@@ -285,11 +286,18 @@ type DistRelation struct {
 // NewDist allocates an empty distributed relation for a group of the
 // given size.
 func NewDist(schema relation.Schema, size int) *DistRelation {
-	frags := make([]*relation.Relation, size)
-	for i := range frags {
-		frags[i] = relation.New(schema)
+	return &DistRelation{Schema: schema, Frags: relation.NewSlab(schema, size, 0)}
+}
+
+// newDistSized is NewDist with a total-tuple hint: each fragment gets
+// arena capacity for its even share of total up front, so a roughly
+// balanced exchange fills destinations without per-Add growth.
+func newDistSized(schema relation.Schema, size, total int) *DistRelation {
+	per := 0
+	if size > 0 {
+		per = total/size + 1
 	}
-	return &DistRelation{Schema: schema, Frags: frags}
+	return &DistRelation{Schema: schema, Frags: relation.NewSlab(schema, size, per)}
 }
 
 // Len returns the total tuple count across fragments.
@@ -327,34 +335,45 @@ func (d *DistRelation) Collect() *relation.Relation {
 // the "data initially distributed evenly" premise of the model. It is
 // free: initial placement precedes the computation.
 func (g *Group) Scatter(r *relation.Relation) *DistRelation {
-	ts := r.Tuples()
-	if g.parallel(len(ts)) {
+	n := r.Len()
+	if g.parallel(n) {
 		// Destination i%size is index-determined, so each destination's
 		// fragment (tuples i, i+size, ...) builds independently, in the
 		// same order a sequential pass appends them.
 		d := &DistRelation{Schema: r.Schema(), Frags: make([]*relation.Relation, g.size)}
 		g.cluster.fork(g.size, func(dst int) {
 			f := relation.New(r.Schema())
-			f.Grow((len(ts) + g.size - 1 - dst) / g.size)
-			for i := dst; i < len(ts); i += g.size {
-				f.Add(ts[i])
+			f.Grow((n + g.size - 1 - dst) / g.size)
+			for i := dst; i < n; i += g.size {
+				f.Add(r.Row(i))
 			}
 			d.Frags[dst] = f
 		})
 		return d
 	}
-	d := NewDist(r.Schema(), g.size)
-	for i, t := range ts {
-		d.Frags[i%g.size].Add(t)
+	d := newDistSized(r.Schema(), g.size, n)
+	for i := 0; i < n; i++ {
+		d.Frags[i%g.size].Add(r.Row(i))
 	}
 	return d
 }
 
-// hashKey gives a deterministic hash of an encoded key.
+// hashKey gives a deterministic hash of an encoded key. It is the
+// legacy reference implementation: hashtab.Hash(t, pos) computes the
+// same FNV-64a value over the same big-endian byte stream without
+// materializing the key string, and the difftest shim asserts the two
+// agree so HashPartition destinations stay byte-for-byte unchanged.
 func hashKey(key string) uint64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(key))
 	return h.Sum64()
+}
+
+// LegacyHashDest exposes the historical string-key destination function
+// for differential tests only: hash(Key(t, pos)) mod size via the
+// encode-then-FNV path. Production code routes through hashtab.Hash.
+func LegacyHashDest(t relation.Tuple, pos []int, size int) int {
+	return int(hashKey(relation.Key(t, pos)) % uint64(size))
 }
 
 // HashPartition re-partitions d by the given attributes: every tuple
@@ -364,12 +383,13 @@ func (g *Group) HashPartition(d *DistRelation, attrs []int) *DistRelation {
 	if g.parallel(d.Len()) {
 		return g.parHashPartition(d, pos)
 	}
-	out := NewDist(d.Schema, g.size)
+	out := newDistSized(d.Schema, g.size, d.Len())
 	recv := make([]int, g.size)
 	charge := g.cluster.chargeSelfSends
 	for src, f := range d.Frags {
-		for _, t := range f.Tuples() {
-			dest := int(hashKey(relation.Key(t, pos)) % uint64(g.size))
+		for i := 0; i < f.Len(); i++ {
+			t := f.Row(i)
+			dest := int(hashtab.Hash(t, pos) % uint64(g.size))
 			out.Frags[dest].Add(t)
 			if charge || dest != src || src >= g.size {
 				recv[dest]++
@@ -422,10 +442,11 @@ func (g *Group) Route(d *DistRelation, route func(src int, t relation.Tuple) []i
 	if g.parallel(d.Len()) {
 		return g.parRoute(d, route)
 	}
-	out := NewDist(d.Schema, g.size)
+	out := newDistSized(d.Schema, g.size, d.Len())
 	recv := make([]int, g.size)
 	for src, f := range d.Frags {
-		for _, t := range f.Tuples() {
+		for i := 0; i < f.Len(); i++ {
+			t := f.Row(i)
 			for _, dest := range route(src, t) {
 				if dest < 0 || dest >= g.size {
 					panic(fmt.Sprintf("mpc: route destination %d outside group of size %d", dest, g.size))
@@ -611,9 +632,9 @@ func (g *Group) SendTo(d *DistRelation, k int) *DistRelation {
 	recv := make([]int, maxInt(k, g.size))
 	i := 0
 	for _, f := range d.Frags {
-		for _, t := range f.Tuples() {
+		for j := 0; j < f.Len(); j++ {
 			dest := i % k
-			out.Frags[dest].Add(t)
+			out.Frags[dest].Add(f.Row(j))
 			recv[dest]++
 			i++
 		}
@@ -650,12 +671,17 @@ func (g *Group) Distribute(d *DistRelation, sizes []int, route func(src *relatio
 		return g.parDistribute(d, sizes, offset, total, route)
 	}
 	out := make([]*DistRelation, len(sizes))
+	per := 0
+	if total > 0 {
+		per = d.Len()/total + 1
+	}
 	for i, k := range sizes {
-		out[i] = NewDist(d.Schema, k)
+		out[i] = &DistRelation{Schema: d.Schema, Frags: relation.NewSlab(d.Schema, k, per)}
 	}
 	recv := make([]int, maxInt(total, g.size))
 	for _, f := range d.Frags {
-		for _, t := range f.Tuples() {
+		for i := 0; i < f.Len(); i++ {
+			t := f.Row(i)
 			for _, dest := range route(f, t) {
 				if dest.Branch < 0 || dest.Branch >= len(sizes) ||
 					dest.Server < 0 || dest.Server >= sizes[dest.Branch] {
@@ -712,13 +738,20 @@ func (g *Group) DistributeSpread(d *DistRelation, sizes []int, pick func(src *re
 		return g.parDistributeSpread(d, sizes, offset, total, pick)
 	}
 	out := make([]*DistRelation, len(sizes))
+	// Hint every destination fragment at an even share of the exchange;
+	// skewed branches grow past it, balanced ones never reallocate.
+	per := 0
+	if total > 0 {
+		per = d.Len()/total + 1
+	}
 	for i, k := range sizes {
-		out[i] = NewDist(d.Schema, k)
+		out[i] = &DistRelation{Schema: d.Schema, Frags: relation.NewSlab(d.Schema, k, per)}
 	}
 	recv := make([]int, maxInt(total, g.size))
 	rr := make([]int, len(sizes))
 	for _, f := range d.Frags {
-		for _, t := range f.Tuples() {
+		for i := 0; i < f.Len(); i++ {
+			t := f.Row(i)
 			for _, s := range pick(f, t) {
 				if s.Branch < 0 || s.Branch >= len(sizes) {
 					panic(fmt.Sprintf("mpc: DistributeSpread branch %d out of range", s.Branch))

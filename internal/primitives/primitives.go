@@ -22,9 +22,9 @@
 package primitives
 
 import (
-	"hash/fnv"
-	"sort"
+	"slices"
 
+	"coverpack/internal/hashtab"
 	"coverpack/internal/mpc"
 	"coverpack/internal/relation"
 )
@@ -56,9 +56,11 @@ func ReduceByKey(g *mpc.Group, d *mpc.DistRelation, keyAttrs []int, valAttr int)
 			for c*c < p {
 				c++
 			}
+			// All pre fragments share outSchema, so the key positions can
+			// be hoisted out of the (pure) route closure.
+			kpos := outSchema.Positions(keyAttrs)
 			mid := g.Route(pre, func(src int, t relation.Tuple) []int {
-				f := pre.Frags[src]
-				base := int(keyHash(f.KeyOn(t, keyAttrs)) % uint64(p))
+				base := int(hashtab.Hash(t, kpos) % uint64(p))
 				return []int{(base + src%c) % p}
 			})
 			pre = agg(mid)
@@ -69,39 +71,120 @@ func ReduceByKey(g *mpc.Group, d *mpc.DistRelation, keyAttrs []int, valAttr int)
 	return out
 }
 
-// keyHash is a deterministic FNV-1a hash of an encoded key.
-func keyHash(key string) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(key))
-	return h.Sum64()
-}
+// smallAggCutoff bounds localAggregate's linear-scan path: at or below
+// it the O(rows·groups) scan over the output arena beats building a
+// hash table, and the per-fragment allocation count drops from ~10 to
+// ~3. Grouping semantics and first-seen output order are identical on
+// both paths.
+const smallAggCutoff = 32
 
 // localAggregate sums valAttr per key group of f, producing rows under
-// outSchema (keys ∪ {valAttr}).
+// outSchema (keys ∪ {valAttr}) in first-seen key order — the hashtab's
+// dense entry indices are exactly that order, replacing the legacy
+// string-keyed maps plus explicit order slice.
 func localAggregate(f *relation.Relation, keyAttrs []int, valAttr int, outSchema relation.Schema) *relation.Relation {
-	sums := make(map[string]int64)
-	reps := make(map[string]relation.Tuple)
-	var order []string
-	for _, t := range f.Tuples() {
-		k := f.KeyOn(t, keyAttrs)
-		if _, ok := sums[k]; !ok {
-			order = append(order, k)
-			reps[k] = t
+	if f.Len() == 0 {
+		// Most fragments of a skewed exchange are empty; skip the table
+		// and scratch allocations entirely.
+		return relation.New(outSchema)
+	}
+	if f.Len() <= smallAggCutoff && outSchema.Len() <= 16 {
+		return smallAggregate(f, valAttr, outSchema)
+	}
+	kpos := f.Schema().Positions(keyAttrs)
+	vpos := f.Schema().Pos(valAttr)
+	groups := hashtab.New(len(kpos), f.Len())
+	sums := make([]int64, 0, f.Len())
+	reps := make([]int32, 0, f.Len()) // entry -> representative row
+	for i := 0; i < f.Len(); i++ {
+		t := f.Row(i)
+		e, found := groups.Insert(t, kpos)
+		if !found {
+			sums = append(sums, 0)
+			reps = append(reps, int32(i))
 		}
-		sums[k] += f.Get(t, valAttr)
+		sums[e] += t[vpos]
 	}
 	out := relation.New(outSchema)
-	for _, k := range order {
-		rep := reps[k]
-		nt := make(relation.Tuple, outSchema.Len())
-		for i, a := range outSchema.Attrs() {
-			if a == valAttr {
-				nt[i] = sums[k]
+	// Map each output column to its source column (or the sum).
+	srcPos := make([]int, outSchema.Len())
+	for i := range srcPos {
+		if a := outSchema.Attr(i); a == valAttr {
+			srcPos[i] = -1
+		} else {
+			srcPos[i] = f.Schema().Pos(a)
+		}
+	}
+	out.Grow(groups.Len())
+	nt := make(relation.Tuple, outSchema.Len())
+	for e := 0; e < groups.Len(); e++ {
+		rep := f.Row(int(reps[e]))
+		for i, sp := range srcPos {
+			if sp < 0 {
+				nt[i] = sums[e]
 			} else {
-				nt[i] = f.Get(rep, a)
+				nt[i] = rep[sp]
 			}
 		}
 		out.Add(nt)
+	}
+	return out
+}
+
+// smallAggregate is the allocation-lean aggregation for tiny fragments:
+// groups are found by scanning the rows already emitted to the output
+// arena (every non-sum output column is a key column, so row equality
+// on those columns is exactly key-group equality), and sums accumulate
+// in place through row views — safe because the arena is grown to its
+// maximum size up front and never reallocates mid-loop. Stack buffers
+// (the caller checks outSchema.Len() ≤ 16) keep the scratch slices off
+// the heap.
+func smallAggregate(f *relation.Relation, valAttr int, outSchema relation.Schema) *relation.Relation {
+	out := relation.New(outSchema)
+	fs := f.Schema()
+	vp := fs.Pos(valAttr)
+	ovp := outSchema.Pos(valAttr)
+	arity := outSchema.Len()
+	var posBuf [16]int
+	srcPos := posBuf[:arity]
+	for i := range srcPos {
+		if a := outSchema.Attr(i); a == valAttr {
+			srcPos[i] = -1
+		} else {
+			srcPos[i] = fs.Pos(a)
+		}
+	}
+	out.Grow(f.Len())
+	var ntBuf [16]relation.Value
+	nt := ntBuf[:arity]
+	for i := 0; i < f.Len(); i++ {
+		t := f.Row(i)
+		found := false
+		for e := 0; e < out.Len(); e++ {
+			ot := out.Row(e)
+			match := true
+			for j, sp := range srcPos {
+				if sp >= 0 && ot[j] != t[sp] {
+					match = false
+					break
+				}
+			}
+			if match {
+				ot[ovp] += t[vp]
+				found = true
+				break
+			}
+		}
+		if !found {
+			for j, sp := range srcPos {
+				if sp < 0 {
+					nt[j] = t[vp]
+				} else {
+					nt[j] = t[sp]
+				}
+			}
+			out.Add(nt)
+		}
 	}
 	return out
 }
@@ -111,14 +194,21 @@ func localAggregate(f *relation.Relation, keyAttrs []int, valAttr int, outSchema
 // (attr, countAttr), hash-partitioned by attr. This is the paper's
 // reduce-by-key application to degree statistics.
 func Degrees(g *mpc.Group, d *mpc.DistRelation, attr, countAttr int) *mpc.DistRelation {
+	// One schema for every fragment; the Local closure runs per server.
+	schema := relation.NewSchema(attr, countAttr)
+	ap := schema.Pos(attr)
+	cp := schema.Pos(countAttr)
 	withOnes := g.Local(d, func(_ int, f *relation.Relation) *relation.Relation {
-		out := relation.New(relation.NewSchema(attr, countAttr))
-		ap := out.Schema().Pos(attr)
-		cp := out.Schema().Pos(countAttr)
-		for _, t := range f.Tuples() {
-			nt := make(relation.Tuple, 2)
-			nt[ap] = f.Get(t, attr)
-			nt[cp] = 1
+		out := relation.New(schema)
+		if f.Len() == 0 {
+			return out
+		}
+		sp := f.Schema().Pos(attr)
+		out.Grow(f.Len())
+		nt := make(relation.Tuple, 2)
+		nt[cp] = 1
+		for i := 0; i < f.Len(); i++ {
+			nt[ap] = f.Row(i)[sp]
 			out.Add(nt)
 		}
 		return out
@@ -209,14 +299,29 @@ func Pack(g *mpc.Group, weights *mpc.DistRelation, valueAttr, weightAttr, groupA
 	}
 	local := make([][]localAssign, len(weights.Frags))
 	for s, f := range weights.Frags {
-		// Deterministic order: sort rows by value.
-		rows := append([]relation.Tuple(nil), f.Tuples()...)
+		// Deterministic order: visit rows by ascending value via an index
+		// permutation (values are distinct — one row per value — so an
+		// unstable sort cannot reorder ties).
 		vp := f.Schema().Pos(valueAttr)
 		wp := f.Schema().Pos(weightAttr)
-		sort.Slice(rows, func(i, j int) bool { return rows[i][vp] < rows[j][vp] })
+		perm := make([]int32, f.Len())
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		slices.SortFunc(perm, func(a, b int32) int {
+			av, bv := f.Row(int(a))[vp], f.Row(int(b))[vp]
+			switch {
+			case av < bv:
+				return -1
+			case av > bv:
+				return 1
+			}
+			return 0
+		})
 		bin, binLoad := 0, int64(0)
 		opened := false
-		for _, t := range rows {
+		for _, ri := range perm {
+			t := f.Row(int(ri))
 			w := t[wp]
 			if w > capacity {
 				panic("primitives: Pack weight exceeds capacity")
@@ -250,9 +355,10 @@ func Pack(g *mpc.Group, weights *mpc.DistRelation, valueAttr, weightAttr, groupA
 	assign := mpc.NewDist(outSchema, len(weights.Frags))
 	vp := outSchema.Pos(valueAttr)
 	gp := outSchema.Pos(groupAttr)
+	nt := make(relation.Tuple, 2)
 	for s, as := range local {
+		assign.Frags[s].Grow(len(as))
 		for _, a := range as {
-			nt := make(relation.Tuple, 2)
 			nt[vp] = a.value
 			nt[gp] = int64(offsets[s] + a.bin)
 			assign.Frags[s].Add(nt)

@@ -1,8 +1,6 @@
 package primitives
 
 import (
-	"sort"
-
 	"coverpack/internal/mpc"
 	"coverpack/internal/relation"
 )
@@ -69,19 +67,20 @@ func Sort(g *mpc.Group, d *mpc.DistRelation, attrs []int) *mpc.DistRelation {
 			step = 1
 		}
 		for i := 0; i < n; i += step {
-			out.Add(cp.Tuples()[i])
+			out.Add(cp.Row(i))
 		}
 		return out
 	})
 	sample := g.Gather(sampleRel)
 	sortRel(sample, pos)
 
-	// Splitters: p−1 evenly spaced sample keys.
+	// Splitters: p−1 evenly spaced sample keys. The views stay valid for
+	// the routing round below because sample is never mutated again.
 	splitters := make([]relation.Tuple, 0, p-1)
 	if sample.Len() > 0 {
 		for i := 1; i < p; i++ {
 			idx := i * sample.Len() / p
-			splitters = append(splitters, sample.Tuples()[idx])
+			splitters = append(splitters, sample.Row(idx))
 		}
 	}
 	destOf := func(t relation.Tuple) int {
@@ -108,9 +107,11 @@ func Sort(g *mpc.Group, d *mpc.DistRelation, attrs []int) *mpc.DistRelation {
 	})
 }
 
+// sortRel stably sorts r in place on the given schema positions. It
+// must go through the relation (the arena is the storage; sorting a
+// materialized []Tuple view would not reorder it).
 func sortRel(r *relation.Relation, pos []int) {
-	ts := r.Tuples()
-	sort.SliceStable(ts, func(i, j int) bool { return lessOn(ts[i], ts[j], pos) })
+	r.SortBy(pos)
 }
 
 // IsGloballySorted reports whether the distributed relation is sorted
@@ -123,7 +124,8 @@ func IsGloballySorted(d *mpc.DistRelation, attrs []int) bool {
 	}
 	var prev relation.Tuple
 	for _, f := range d.Frags {
-		for _, t := range f.Tuples() {
+		for i := 0; i < f.Len(); i++ {
+			t := f.Row(i)
 			if prev != nil && lessOn(t, prev, pos) {
 				return false
 			}

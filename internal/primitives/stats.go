@@ -1,6 +1,7 @@
 package primitives
 
 import (
+	"coverpack/internal/hashtab"
 	"coverpack/internal/mpc"
 	"coverpack/internal/relation"
 )
@@ -28,13 +29,23 @@ func weightedDP(g *mpc.Group, rels []*mpc.DistRelation, children [][]int, e, wei
 		outSchema := f.Schema().Union(relation.NewSchema(weightAttr))
 		out := relation.New(outSchema)
 		wp := outSchema.Pos(weightAttr)
-		for _, t := range f.Tuples() {
-			nt := make(relation.Tuple, outSchema.Len())
-			for i, a := range outSchema.Attrs() {
-				if i == wp {
-					nt[i] = 1
+		srcPos := make([]int, outSchema.Len())
+		for i, a := range outSchema.Attrs() {
+			if i == wp {
+				srcPos[i] = -1
+			} else {
+				srcPos[i] = f.Schema().Pos(a)
+			}
+		}
+		out.Grow(f.Len())
+		nt := make(relation.Tuple, outSchema.Len())
+		for i := 0; i < f.Len(); i++ {
+			t := f.Row(i)
+			for j, sp := range srcPos {
+				if sp < 0 {
+					nt[j] = 1
 				} else {
-					nt[i] = f.Get(t, a)
+					nt[j] = t[sp]
 				}
 			}
 			out.Add(nt)
@@ -69,21 +80,24 @@ func commonExcept(a, b relation.Schema, weightAttr int) []int {
 // (dropped when no aggregate matches — the child has no join partner).
 // With an empty key (Cartesian child), the child total is broadcast.
 func multiplyWeights(g *mpc.Group, parent, agg *mpc.DistRelation, key []int, weightAttr int) *mpc.DistRelation {
+	wp := parent.Schema.Pos(weightAttr)
 	if len(key) == 0 {
 		// Cartesian component below: multiply all weights by the total.
 		ba := g.Broadcast(agg)
+		bwp := ba.Schema.Pos(weightAttr)
 		out := mpc.NewDist(parent.Schema, g.Size())
+		nt := make(relation.Tuple, parent.Schema.Len())
 		for i, f := range parent.Frags {
 			var total int64
 			bf := ba.Frags[i]
-			for _, t := range bf.Tuples() {
-				total += bf.Get(t, weightAttr)
+			for j := 0; j < bf.Len(); j++ {
+				total += bf.Row(j)[bwp]
 			}
 			nf := relation.New(parent.Schema)
 			if total != 0 {
-				wp := parent.Schema.Pos(weightAttr)
-				for _, t := range f.Tuples() {
-					nt := t.Clone()
+				nf.Grow(f.Len())
+				for j := 0; j < f.Len(); j++ {
+					copy(nt, f.Row(j))
 					nt[wp] *= total
 					nf.Add(nt)
 				}
@@ -94,20 +108,31 @@ func multiplyWeights(g *mpc.Group, parent, agg *mpc.DistRelation, key []int, wei
 	}
 	pp := g.HashPartition(parent, key)
 	ap := g.HashPartition(agg, key)
+	akpos := ap.Schema.Positions(key)
+	awp := ap.Schema.Pos(weightAttr)
+	pkpos := pp.Schema.Positions(key)
 	out := mpc.NewDist(parent.Schema, g.Size())
+	nt := make(relation.Tuple, parent.Schema.Len())
 	for i := range pp.Frags {
 		f := pp.Frags[i]
 		af := ap.Frags[i]
-		sums := make(map[string]int64, af.Len())
-		for _, t := range af.Tuples() {
-			sums[af.KeyOn(t, key)] += af.Get(t, weightAttr)
+		// Per-key aggregate sums, keyed on the projected key columns.
+		tab := hashtab.New(len(key), af.Len())
+		sums := make([]int64, 0, af.Len())
+		for j := 0; j < af.Len(); j++ {
+			t := af.Row(j)
+			e, found := tab.Insert(t, akpos)
+			if !found {
+				sums = append(sums, 0)
+			}
+			sums[e] += t[awp]
 		}
 		nf := relation.New(parent.Schema)
-		wp := parent.Schema.Pos(weightAttr)
-		for _, t := range f.Tuples() {
-			if s, ok := sums[f.KeyOn(t, key)]; ok && s != 0 {
-				nt := t.Clone()
-				nt[wp] *= s
+		for j := 0; j < f.Len(); j++ {
+			t := f.Row(j)
+			if e := tab.Find(t, pkpos); e >= 0 && sums[e] != 0 {
+				copy(nt, t)
+				nt[wp] *= sums[e]
 				nf.Add(nt)
 			}
 		}
@@ -127,9 +152,10 @@ func JoinCount(g *mpc.Group, rels []*mpc.DistRelation, children [][]int, root, w
 	}
 	g.ChargeControl(control)
 	var total int64
+	wp := w.Schema.Pos(weightAttr)
 	for _, f := range w.Frags {
-		for _, t := range f.Tuples() {
-			total += f.Get(t, weightAttr)
+		for i := 0; i < f.Len(); i++ {
+			total += f.Row(i)[wp]
 		}
 	}
 	return total

@@ -9,10 +9,18 @@ import "fmt"
 // index-ordered chunks and appends chunk i's output to shard i
 // therefore produces a byte-identical relation to a sequential pass,
 // for any number of workers.
+//
+// Each shard is its own flat []Value arena (arity-strided, like
+// Relation); Build concatenates the arenas with one copy per shard.
 type Builder struct {
 	schema Schema
 	arity  int
-	shards [][]Tuple
+	shards []builderShard
+}
+
+type builderShard struct {
+	data []Value
+	rows int
 }
 
 // NewBuilder returns a builder with the given number of shards.
@@ -20,7 +28,7 @@ func NewBuilder(schema Schema, shards int) *Builder {
 	if shards < 1 {
 		shards = 1
 	}
-	return &Builder{schema: schema, arity: schema.Len(), shards: make([][]Tuple, shards)}
+	return &Builder{schema: schema, arity: schema.Len(), shards: make([]builderShard, shards)}
 }
 
 // Shard returns a handle to shard i. Distinct shards may be filled
@@ -33,19 +41,22 @@ type Shard struct {
 	i int
 }
 
-// Add appends a tuple to the shard; it must match the schema arity.
+// Add appends a copy of the tuple to the shard; it must match the
+// schema arity.
 func (s Shard) Add(t Tuple) {
 	if len(t) != s.b.arity {
 		panic(fmt.Sprintf("relation: tuple arity %d != schema arity %d", len(t), s.b.arity))
 	}
-	s.b.shards[s.i] = append(s.b.shards[s.i], t)
+	sh := &s.b.shards[s.i]
+	sh.data = append(sh.data, t...)
+	sh.rows++
 }
 
 // Len returns the total tuple count across shards.
 func (b *Builder) Len() int {
 	n := 0
-	for _, s := range b.shards {
-		n += len(s)
+	for i := range b.shards {
+		n += b.shards[i].rows
 	}
 	return n
 }
@@ -53,9 +64,10 @@ func (b *Builder) Len() int {
 // Build concatenates the shards in index order into one relation. The
 // builder must not be used afterwards.
 func (b *Builder) Build() *Relation {
-	tuples := make([]Tuple, 0, b.Len())
-	for _, s := range b.shards {
-		tuples = append(tuples, s...)
+	rows := b.Len()
+	data := make([]Value, 0, rows*b.arity)
+	for i := range b.shards {
+		data = append(data, b.shards[i].data...)
 	}
-	return FromTuples(b.schema, tuples)
+	return FromData(b.schema, data, rows)
 }

@@ -73,8 +73,51 @@ func TestFromTuples(t *testing.T) {
 	if r.Len() != 2 || !r.Schema().Equal(schema) {
 		t.Fatalf("FromTuples: len %d schema %v", r.Len(), r.Schema())
 	}
-	if &r.Tuples()[0] != &ts[0] {
-		t.Fatal("FromTuples should not copy the slice")
+	// The arena copies the inputs: mutating the source tuples afterwards
+	// must not reach into the relation.
+	ts[0][0] = 99
+	if r.Row(0)[0] != 1 {
+		t.Fatalf("FromTuples aliased its input: row 0 = %v", r.Row(0))
+	}
+}
+
+func TestFromDataZeroCopyAndValidation(t *testing.T) {
+	schema := NewSchema(0, 1)
+	data := []Value{1, 2, 3, 4}
+	r := FromData(schema, data, 2)
+	if r.Len() != 2 || r.Row(1)[0] != 3 {
+		t.Fatalf("FromData: len %d row1 %v", r.Len(), r.Row(1))
+	}
+	// Zero-copy: the relation owns the passed arena.
+	data[0] = 42
+	if r.Row(0)[0] != 42 {
+		t.Fatal("FromData must wrap the arena without copying")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("mismatched arena length should panic")
+			}
+		}()
+		FromData(schema, []Value{1, 2, 3}, 2)
+	}()
+}
+
+func TestRowViewInvalidationContract(t *testing.T) {
+	r := New(NewSchema(0, 1))
+	r.Grow(2)
+	r.AddValues(1, 2)
+	row := r.Row(0)
+	// Appends within reserved capacity keep existing views readable.
+	r.AddValues(3, 4)
+	if row[0] != 1 || row[1] != 2 {
+		t.Fatalf("view corrupted by in-capacity append: %v", row)
+	}
+	// A view is capped at its row boundary: appending through it must
+	// not scribble over the next row.
+	_ = append(row, 99)
+	if r.Row(1)[0] != 3 {
+		t.Fatalf("append through a view corrupted the next row: %v", r.Row(1))
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"coverpack/internal/hashtab"
 	"coverpack/internal/hypergraph"
 )
 
@@ -174,7 +175,6 @@ func countSubtree(q *hypergraph.Query, tree *hypergraph.JoinTree, rels []*Relati
 		cw := countSubtree(q, tree, rels, c)
 		cr := rels[c]
 		common := r.Schema().Common(cr.Schema())
-		agg := make(map[string]int64)
 		if len(common) == 0 {
 			var sum int64
 			for _, w := range cw {
@@ -185,11 +185,24 @@ func countSubtree(q *hypergraph.Query, tree *hypergraph.JoinTree, rels []*Relati
 			}
 			continue
 		}
-		for i, t := range cr.Tuples() {
-			agg[cr.KeyOn(t, common)] += cw[i]
+		// Per-key child-weight sums, keyed on projected arena columns.
+		crPos := cr.Schema().Positions(common)
+		rPos := r.Schema().Positions(common)
+		agg := hashtab.New(len(common), cr.Len())
+		sums := make([]int64, 0, cr.Len())
+		for i := 0; i < cr.Len(); i++ {
+			k, found := agg.Insert(cr.Row(i), crPos)
+			if !found {
+				sums = append(sums, 0)
+			}
+			sums[k] += cw[i]
 		}
-		for i, t := range r.Tuples() {
-			weights[i] = mulSat(weights[i], agg[r.KeyOn(t, common)])
+		for i := 0; i < r.Len(); i++ {
+			var s int64 // missing key multiplies by 0, as the map read did
+			if k := agg.Find(r.Row(i), rPos); k >= 0 {
+				s = sums[k]
+			}
+			weights[i] = mulSat(weights[i], s)
 		}
 	}
 	return weights

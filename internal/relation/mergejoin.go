@@ -1,9 +1,10 @@
 package relation
 
-import "sort"
+import "slices"
 
 // MergeJoin computes the natural join r ⋈ s with a sort-merge strategy:
-// both inputs are sorted on the shared attributes and matching key
+// both inputs are ordered on the shared attributes (via stable
+// row-index permutations — the arenas are not touched) and matching key
 // groups are combined. It is semantically identical to Join (the hash
 // join) — the property tests enforce the equivalence — and is the
 // algorithm of choice once inputs arrive range-partitioned from the
@@ -19,27 +20,25 @@ func (r *Relation) MergeJoin(s *Relation) *Relation {
 	rPos := positionsOf(r.schema, common)
 	sPos := positionsOf(s.schema, common)
 
-	rt := append([]Tuple(nil), r.tuples...)
-	st := append([]Tuple(nil), s.tuples...)
-	sort.SliceStable(rt, func(i, j int) bool { return lessOnPositions(rt[i], rt[j], rPos) })
-	sort.SliceStable(st, func(i, j int) bool { return lessOnPositions(st[i], st[j], sPos) })
+	rp := sortedPerm(r, rPos)
+	sp := sortedPerm(s, sPos)
 
 	rOut := outPositions(r.schema, outSchema)
 	sOut := outPositions(s.schema, outSchema)
+	scratch := make(Tuple, outSchema.Len())
 	emit := func(a, b Tuple) {
-		nt := make(Tuple, outSchema.Len())
 		for i, p := range rOut {
-			nt[p] = a[i]
+			scratch[p] = a[i]
 		}
 		for i, p := range sOut {
-			nt[p] = b[i]
+			scratch[p] = b[i]
 		}
-		out.tuples = append(out.tuples, nt)
+		out.Add(scratch)
 	}
 
 	i, j := 0, 0
-	for i < len(rt) && j < len(st) {
-		c := compareKeys(rt[i], rPos, st[j], sPos)
+	for i < len(rp) && j < len(sp) {
+		c := compareKeys(r.Row(rp[i]), rPos, s.Row(sp[j]), sPos)
 		switch {
 		case c < 0:
 			i++
@@ -48,22 +47,45 @@ func (r *Relation) MergeJoin(s *Relation) *Relation {
 		default:
 			// Gather both key groups and emit the product.
 			i2 := i
-			for i2 < len(rt) && compareKeys(rt[i2], rPos, st[j], sPos) == 0 {
+			for i2 < len(rp) && compareKeys(r.Row(rp[i2]), rPos, s.Row(sp[j]), sPos) == 0 {
 				i2++
 			}
 			j2 := j
-			for j2 < len(st) && compareKeys(rt[i], rPos, st[j2], sPos) == 0 {
+			for j2 < len(sp) && compareKeys(r.Row(rp[i]), rPos, s.Row(sp[j2]), sPos) == 0 {
 				j2++
 			}
 			for a := i; a < i2; a++ {
 				for b := j; b < j2; b++ {
-					emit(rt[a], st[b])
+					emit(r.Row(rp[a]), s.Row(sp[b]))
 				}
 			}
 			i, j = i2, j2
 		}
 	}
 	return out
+}
+
+// sortedPerm returns the row indices of r ordered stably by the given
+// positions (equal keys keep input order, matching the historical
+// sort.SliceStable over materialized tuples).
+func sortedPerm(r *Relation, pos []int) []int {
+	perm := make([]int, r.rows)
+	for i := range perm {
+		perm[i] = i
+	}
+	slices.SortStableFunc(perm, func(a, b int) int {
+		ta, tb := r.Row(a), r.Row(b)
+		for _, p := range pos {
+			if ta[p] != tb[p] {
+				if ta[p] < tb[p] {
+					return -1
+				}
+				return 1
+			}
+		}
+		return 0
+	})
+	return perm
 }
 
 func positionsOf(s Schema, attrs []int) []int {
@@ -81,15 +103,6 @@ func outPositions(src, dst Schema) []int {
 		out[i] = dst.Pos(a)
 	}
 	return out
-}
-
-func lessOnPositions(a, b Tuple, pos []int) bool {
-	for _, p := range pos {
-		if a[p] != b[p] {
-			return a[p] < b[p]
-		}
-	}
-	return false
 }
 
 // compareKeys compares a's key at aPos with b's key at bPos.

@@ -1,30 +1,59 @@
 package relation
 
-import "fmt"
+import (
+	"fmt"
+
+	"coverpack/internal/hashtab"
+)
 
 // This file implements the local (single-server) operators. The MPC
 // algorithms compose them with communication primitives; the sequential
 // oracle in instance.go composes them directly.
+//
+// Every keyed operator (dedup, semi-join, anti-join, hash join, group
+// count) probes an internal/hashtab table keyed on projected arena
+// columns — no per-tuple key strings. Output orders are identical to
+// the historical map[string] implementations because hashtab entries
+// enumerate in first-insert order and probes scan input order.
 
 // Project returns the projection onto the given attributes (multiset —
 // no dedup; call Dedup for set semantics).
 func (r *Relation) Project(attrs ...int) *Relation {
-	schema := NewSchema(attrs...)
+	return r.ProjectTo(NewSchema(attrs...))
+}
+
+// ProjectTo projects onto a prebuilt schema — the allocation-free
+// entry for per-fragment loops, which hoist the NewSchema call (sort +
+// position map) out of the loop and reuse one schema for every
+// fragment.
+func (r *Relation) ProjectTo(schema Schema) *Relation {
 	out := New(schema)
+	if r.rows == 0 {
+		// Still validate: a missing attribute must panic regardless of
+		// whether any rows exist.
+		for i := 0; i < schema.Len(); i++ {
+			if a := schema.Attr(i); r.schema.Pos(a) < 0 {
+				panic(fmt.Sprintf("relation: Project attribute %d not in schema %v", a, r.schema))
+			}
+		}
+		return out
+	}
 	pos := make([]int, schema.Len())
-	for i, a := range schema.Attrs() {
+	for i := range pos {
+		a := schema.Attr(i)
 		p := r.schema.Pos(a)
 		if p < 0 {
 			panic(fmt.Sprintf("relation: Project attribute %d not in schema %v", a, r.schema))
 		}
 		pos[i] = p
 	}
-	for _, t := range r.tuples {
-		nt := make(Tuple, len(pos))
-		for i, p := range pos {
-			nt[i] = t[p]
+	out.Grow(r.rows)
+	for i := 0; i < r.rows; i++ {
+		t := r.Row(i)
+		for _, p := range pos {
+			out.data = append(out.data, t[p])
 		}
-		out.tuples = append(out.tuples, nt)
+		out.rows++
 	}
 	return out
 }
@@ -36,9 +65,9 @@ func (r *Relation) SelectEq(a int, v Value) *Relation {
 		panic(fmt.Sprintf("relation: SelectEq attribute %d not in schema %v", a, r.schema))
 	}
 	out := New(r.schema)
-	for _, t := range r.tuples {
-		if t[p] == v {
-			out.tuples = append(out.tuples, t)
+	for i := 0; i < r.rows; i++ {
+		if t := r.Row(i); t[p] == v {
+			out.Add(t)
 		}
 	}
 	return out
@@ -51,9 +80,9 @@ func (r *Relation) SelectIn(a int, vs map[Value]bool) *Relation {
 		panic(fmt.Sprintf("relation: SelectIn attribute %d not in schema %v", a, r.schema))
 	}
 	out := New(r.schema)
-	for _, t := range r.tuples {
-		if vs[t[p]] {
-			out.tuples = append(out.tuples, t)
+	for i := 0; i < r.rows; i++ {
+		if t := r.Row(i); vs[t[p]] {
+			out.Add(t)
 		}
 	}
 	return out
@@ -62,20 +91,39 @@ func (r *Relation) SelectIn(a int, vs map[Value]bool) *Relation {
 // Dedup returns the relation with duplicate tuples removed.
 func (r *Relation) Dedup() *Relation {
 	out := New(r.schema)
-	seen := make(map[string]bool, len(r.tuples))
-	all := make([]int, r.schema.Len())
-	for i := range all {
-		all[i] = i
+	if r.rows == 0 {
+		return out
 	}
-	for _, t := range r.tuples {
-		k := Key(t, all)
-		if !seen[k] {
-			seen[k] = true
-			out.tuples = append(out.tuples, t)
+	if r.rows <= smallDedupCutoff {
+		// Linear scan over the rows already kept — same first-seen
+		// order as the hash path, no table or position allocations.
+		out.Grow(r.rows)
+		for i := 0; i < r.rows; i++ {
+			t := r.Row(i)
+			dup := false
+			for e := 0; e < out.rows && !dup; e++ {
+				dup = out.Row(e).Equal(t)
+			}
+			if !dup {
+				out.Add(t)
+			}
+		}
+		return out
+	}
+	seen := hashtab.New(r.arity, r.rows)
+	all := identityPositions(r.arity)
+	for i := 0; i < r.rows; i++ {
+		t := r.Row(i)
+		if _, found := seen.Insert(t, all); !found {
+			out.Add(t)
 		}
 	}
 	return out
 }
+
+// smallDedupCutoff bounds Dedup's linear-scan path; see smallAggCutoff
+// in internal/primitives for the same trade-off.
+const smallDedupCutoff = 32
 
 // SemiJoin returns the tuples of r that agree with at least one tuple of
 // s on their common attributes (r ⋉ s). With no common attributes it
@@ -89,14 +137,12 @@ func (r *Relation) SemiJoin(s *Relation) *Relation {
 		}
 		return r.Clone()
 	}
-	probe := make(map[string]bool, s.Len())
-	for _, t := range s.tuples {
-		probe[s.KeyOn(t, common)] = true
-	}
+	probe := buildKeySet(s, common)
+	rPos := r.schema.Positions(common)
 	out := New(r.schema)
-	for _, t := range r.tuples {
-		if probe[r.KeyOn(t, common)] {
-			out.tuples = append(out.tuples, t)
+	for i := 0; i < r.rows; i++ {
+		if t := r.Row(i); probe.Find(t, rPos) >= 0 {
+			out.Add(t)
 		}
 	}
 	return out
@@ -112,17 +158,26 @@ func (r *Relation) AntiJoin(s *Relation) *Relation {
 		}
 		return New(r.schema)
 	}
-	probe := make(map[string]bool, s.Len())
-	for _, t := range s.tuples {
-		probe[s.KeyOn(t, common)] = true
-	}
+	probe := buildKeySet(s, common)
+	rPos := r.schema.Positions(common)
 	out := New(r.schema)
-	for _, t := range r.tuples {
-		if !probe[r.KeyOn(t, common)] {
-			out.tuples = append(out.tuples, t)
+	for i := 0; i < r.rows; i++ {
+		if t := r.Row(i); probe.Find(t, rPos) < 0 {
+			out.Add(t)
 		}
 	}
 	return out
+}
+
+// buildKeySet inserts every row of s, projected on the named attributes,
+// into a fresh hashtab table (set semantics).
+func buildKeySet(s *Relation, attrs []int) *hashtab.Table {
+	pos := s.schema.Positions(attrs)
+	set := hashtab.New(len(pos), s.rows)
+	for i := 0; i < s.rows; i++ {
+		set.Insert(s.Row(i), pos)
+	}
+	return set
 }
 
 // Join returns the natural join r ⋈ s (hash join on the shared
@@ -132,53 +187,70 @@ func (r *Relation) Join(s *Relation) *Relation {
 	outSchema := r.schema.Union(s.schema)
 	out := New(outSchema)
 
-	// Precompute output assembly positions.
-	rPos := make([]int, 0, r.schema.Len())
+	// Precompute output assembly positions and reuse one scratch row:
+	// emit copies into the output arena, so nothing per-row escapes.
 	rOut := make([]int, 0, r.schema.Len())
-	for i, a := range r.schema.Attrs() {
-		rPos = append(rPos, i)
+	for _, a := range r.schema.attrs {
 		rOut = append(rOut, outSchema.Pos(a))
 	}
-	sPos := make([]int, 0, s.schema.Len())
 	sOut := make([]int, 0, s.schema.Len())
-	for i, a := range s.schema.Attrs() {
-		sPos = append(sPos, i)
+	for _, a := range s.schema.attrs {
 		sOut = append(sOut, outSchema.Pos(a))
 	}
+	scratch := make(Tuple, outSchema.Len())
 	emit := func(rt, st Tuple) {
-		nt := make(Tuple, outSchema.Len())
-		for i := range rPos {
-			nt[rOut[i]] = rt[rPos[i]]
+		for i, p := range rOut {
+			scratch[p] = rt[i]
 		}
-		for i := range sPos {
-			nt[sOut[i]] = st[sPos[i]]
+		for i, p := range sOut {
+			scratch[p] = st[i]
 		}
-		out.tuples = append(out.tuples, nt)
+		out.Add(scratch)
 	}
 
 	if len(common) == 0 {
-		for _, rt := range r.tuples {
-			for _, st := range s.tuples {
-				emit(rt, st)
+		for i := 0; i < r.rows; i++ {
+			rt := r.Row(i)
+			for j := 0; j < s.rows; j++ {
+				emit(rt, s.Row(j))
 			}
 		}
 		return out
 	}
-	// Build on the smaller side.
+	// Build on the smaller side. The table maps each key to its chain of
+	// build rows (head/next links in build order), replacing the legacy
+	// map[string][]Tuple with the same per-key iteration order.
 	build, probe := s, r
 	buildIsS := true
 	if r.Len() < s.Len() {
 		build, probe = r, s
 		buildIsS = false
 	}
-	table := make(map[string][]Tuple, build.Len())
-	for _, t := range build.tuples {
-		k := build.KeyOn(t, common)
-		table[k] = append(table[k], t)
+	buildPos := build.schema.Positions(common)
+	probePos := probe.schema.Positions(common)
+	table := hashtab.New(len(common), build.rows)
+	heads := make([]int32, 0, build.rows) // entry -> first build row
+	tails := make([]int32, 0, build.rows) // entry -> last build row
+	next := make([]int32, build.rows)     // build row -> next row, -1 ends
+	for i := 0; i < build.rows; i++ {
+		next[i] = -1
+		e, found := table.Insert(build.Row(i), buildPos)
+		if !found {
+			heads = append(heads, int32(i))
+			tails = append(tails, int32(i))
+			continue
+		}
+		next[tails[e]] = int32(i)
+		tails[e] = int32(i)
 	}
-	for _, t := range probe.tuples {
-		k := probe.KeyOn(t, common)
-		for _, bt := range table[k] {
+	for i := 0; i < probe.rows; i++ {
+		t := probe.Row(i)
+		e := table.Find(t, probePos)
+		if e < 0 {
+			continue
+		}
+		for b := heads[e]; b >= 0; b = next[b] {
+			bt := build.Row(int(b))
 			if buildIsS {
 				emit(t, bt)
 			} else {
@@ -190,43 +262,48 @@ func (r *Relation) Join(s *Relation) *Relation {
 }
 
 // GroupCount returns one tuple (a-value, count) per distinct value of
-// attribute a. The count column is reported on the synthetic attribute
-// id passed as countAttr (callers pick an id outside the query's range).
+// attribute a, in first-seen order of a's values. The count column is
+// reported on the synthetic attribute id passed as countAttr (callers
+// pick an id outside the query's range).
 func (r *Relation) GroupCount(a, countAttr int) *Relation {
 	p := r.schema.Pos(a)
 	if p < 0 {
 		panic(fmt.Sprintf("relation: GroupCount attribute %d not in schema %v", a, r.schema))
 	}
-	counts := make(map[Value]int64)
-	var order []Value
-	for _, t := range r.tuples {
-		if _, ok := counts[t[p]]; !ok {
-			order = append(order, t[p])
+	groups := hashtab.New(1, 0)
+	pos := []int{p}
+	var counts []int64 // parallel to table entries
+	for i := 0; i < r.rows; i++ {
+		e, found := groups.Insert(r.Row(i), pos)
+		if !found {
+			counts = append(counts, 0)
 		}
-		counts[t[p]]++
+		counts[e]++
 	}
 	out := New(NewSchema(a, countAttr))
 	// Schema normalizes ascending; find where each lands.
 	ap := out.schema.Pos(a)
 	cp := out.schema.Pos(countAttr)
-	for _, v := range order {
-		nt := make(Tuple, 2)
-		nt[ap] = v
-		nt[cp] = counts[v]
-		out.tuples = append(out.tuples, nt)
+	nt := make(Tuple, 2)
+	for e := 0; e < groups.Len(); e++ {
+		nt[ap] = groups.Key(e)[0]
+		nt[cp] = counts[e]
+		out.Add(nt)
 	}
 	return out
 }
 
-// DistinctValues returns the set of values of attribute a.
+// DistinctValues returns the set of values of attribute a. The int64-
+// keyed map allocates no key strings; callers needing deterministic
+// order must sort (map iteration order is randomized).
 func (r *Relation) DistinctValues(a int) map[Value]bool {
 	p := r.schema.Pos(a)
 	if p < 0 {
 		panic(fmt.Sprintf("relation: DistinctValues attribute %d not in schema %v", a, r.schema))
 	}
 	out := make(map[Value]bool)
-	for _, t := range r.tuples {
-		out[t[p]] = true
+	for i := 0; i < r.rows; i++ {
+		out[r.Row(i)[p]] = true
 	}
 	return out
 }

@@ -7,11 +7,24 @@
 // hypergraph.Query, so a tuple's meaning is always relative to a schema.
 // Tuples are treated as atomic units per the paper's tuple-based model:
 // operators copy tuples, never invent values.
+//
+// # Storage layout
+//
+// A Relation stores its rows in a single flat []Value arena, strided by
+// the schema arity: row i occupies data[i*arity : (i+1)*arity]. Tuples
+// handed out by Row and Tuples are views into that arena — cheap slice
+// headers, not per-row heap objects. Views are invalidated by any
+// mutation that can reallocate or reorder the arena (Add, AddValues,
+// Append, Grow past capacity, Sort, SortBy): callers must not hold a
+// view across such a call on the same relation. Reading one relation
+// while appending to a different one is always safe. See DESIGN.md,
+// "Storage layout and hashing".
 package relation
 
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -20,10 +33,25 @@ import (
 type Value = int64
 
 // Tuple is a value assignment, ordered by its Schema's attribute order.
+// Tuples obtained from a Relation are views into its arena; see the
+// package comment for the invalidation rules.
 type Tuple []Value
 
 // Clone returns an independent copy of the tuple.
 func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Equal reports whether two tuples hold the same values.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // Schema is an ordered list of attribute ids (ascending).
 type Schema struct {
@@ -52,6 +80,11 @@ func NewSchema(attrs ...int) Schema {
 
 // Attrs returns the attribute ids in schema order.
 func (s Schema) Attrs() []int { return append([]int(nil), s.attrs...) }
+
+// Attr returns the attribute id at index i without allocating — the
+// per-call accessor for hot loops that would otherwise copy the whole
+// attribute slice via Attrs.
+func (s Schema) Attr(i int) int { return s.attrs[i] }
 
 // Len returns the arity.
 func (s Schema) Len() int { return len(s.attrs) }
@@ -110,33 +143,85 @@ func (s Schema) String() string {
 	return b.String()
 }
 
-// Relation is a multiset of tuples under one schema. Operators that
-// require set semantics (semi-join probe sides, dedup) say so.
+// Relation is a multiset of tuples under one schema, stored in a flat
+// arity-strided []Value arena. Operators that require set semantics
+// (semi-join probe sides, dedup) say so.
 type Relation struct {
 	schema Schema
-	tuples []Tuple
+	arity  int
+	data   []Value // row i at data[i*arity : (i+1)*arity]
+	rows   int     // row count (len(data)/arity, tracked for arity 0)
 }
 
 // New returns an empty relation with the given schema.
 func New(schema Schema) *Relation {
-	return &Relation{schema: schema}
+	return &Relation{schema: schema, arity: schema.Len()}
+}
+
+// NewSlab returns n empty relations over schema backed by shared
+// allocations: one slab of Relation structs, and (when perHint > 0)
+// one arena block pre-partitioned so each relation holds perHint rows
+// before its first growth. The per-relation arena slices are capacity-
+// capped at their partition, so a relation that outgrows its hint
+// reallocates independently and can never write into a neighbor's
+// region. This is the constructor for exchange fan-outs, where the
+// per-destination `make` calls otherwise dominate the allocation
+// profile.
+func NewSlab(schema Schema, n, perHint int) []*Relation {
+	arity := schema.Len()
+	slab := make([]Relation, n)
+	out := make([]*Relation, n)
+	var blob []Value
+	if perHint > 0 && arity > 0 {
+		blob = make([]Value, n*perHint*arity)
+	}
+	for i := range slab {
+		slab[i] = Relation{schema: schema, arity: arity}
+		if blob != nil {
+			lo := i * perHint * arity
+			slab[i].data = blob[lo : lo : lo+perHint*arity]
+		}
+		out[i] = &slab[i]
+	}
+	return out
 }
 
 // Schema returns the relation's schema.
 func (r *Relation) Schema() Schema { return r.schema }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int { return r.rows }
 
-// Tuples returns the underlying tuple slice; callers must not mutate it.
-func (r *Relation) Tuples() []Tuple { return r.tuples }
+// Row returns tuple i as a view into the arena. The view is capped at
+// the row boundary, so appending to it cannot corrupt neighbors; it is
+// invalidated by arena-mutating calls (see the package comment).
+func (r *Relation) Row(i int) Tuple {
+	return r.data[i*r.arity : (i+1)*r.arity : (i+1)*r.arity]
+}
 
-// Add appends a tuple; it must match the schema arity.
-func (r *Relation) Add(t Tuple) {
-	if len(t) != r.schema.Len() {
-		panic(fmt.Sprintf("relation: tuple arity %d != schema arity %d", len(t), r.schema.Len()))
+// Tuples materializes one view per row. It allocates the header slice
+// on every call — hot loops should index with Row instead. The views
+// follow the arena invalidation rules of the package comment.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, r.rows)
+	for i := range out {
+		out[i] = r.Row(i)
 	}
-	r.tuples = append(r.tuples, t)
+	return out
+}
+
+// Data exposes the backing arena (row-major, arity-strided). Callers
+// must treat it as read-only; it is the zero-copy path for bulk
+// concatenation and hashing.
+func (r *Relation) Data() []Value { return r.data }
+
+// Add appends a copy of the tuple; it must match the schema arity.
+func (r *Relation) Add(t Tuple) {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("relation: tuple arity %d != schema arity %d", len(t), r.arity))
+	}
+	r.data = append(r.data, t...)
+	r.rows++
 }
 
 // AddValues appends a tuple given values in schema order.
@@ -147,16 +232,15 @@ func (r *Relation) Append(o *Relation) {
 	if !r.schema.Equal(o.schema) {
 		panic("relation: Append schema mismatch")
 	}
-	r.tuples = append(r.tuples, o.tuples...)
+	r.data = append(r.data, o.data...)
+	r.rows += o.rows
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy (one arena allocation).
 func (r *Relation) Clone() *Relation {
 	out := New(r.schema)
-	out.tuples = make([]Tuple, len(r.tuples))
-	for i, t := range r.tuples {
-		out.tuples[i] = t.Clone()
-	}
+	out.data = append(make([]Value, 0, len(r.data)), r.data...)
+	out.rows = r.rows
 	return out
 }
 
@@ -172,6 +256,11 @@ func (r *Relation) Get(t Tuple, a int) Value {
 
 // Key encodes the projection of t onto the given schema positions as a
 // compact string usable as a hash key.
+//
+// This is the legacy keyed path: hot loops hash projections directly
+// with internal/hashtab (same FNV-64a over the same big-endian bytes,
+// no string materialization). Key remains the wire/debug encoding and
+// the reference the equivalence tests compare hashtab against.
 func Key(t Tuple, positions []int) string {
 	buf := make([]byte, 8*len(positions))
 	for i, p := range positions {
@@ -182,22 +271,29 @@ func Key(t Tuple, positions []int) string {
 
 // DecodeKey inverts Key: it unpacks an encoded key back into the
 // projected values. ok is false when the string is not a multiple of
-// the 8-byte value width (i.e. not a Key output).
+// the 8-byte value width (i.e. not a Key output). The empty key decodes
+// to an empty value list — the valid encoding of a 0-ary projection.
 func DecodeKey(key string) (vals []Value, ok bool) {
 	if len(key)%8 != 0 {
 		return nil, false
 	}
 	vals = make([]Value, len(key)/8)
 	for i := range vals {
-		vals[i] = Value(binary.BigEndian.Uint64([]byte(key[8*i : 8*i+8])))
+		// Big-endian decode by direct string indexing; converting each
+		// chunk through []byte(key[...]) would allocate per chunk.
+		var v uint64
+		for j := 0; j < 8; j++ {
+			v = v<<8 | uint64(key[8*i+j])
+		}
+		vals[i] = Value(v)
 	}
 	return vals, true
 }
 
 // Positions resolves the named attributes to tuple positions under this
 // schema, panicking on a missing attribute. Precomputing positions once
-// and calling Key directly avoids KeyOn's per-tuple resolution in hot
-// loops.
+// and hashing rows directly (hashtab.Hash) avoids KeyOn's per-tuple
+// resolution and string building in hot loops.
 func (s Schema) Positions(attrs []int) []int {
 	pos := make([]int, len(attrs))
 	for i, a := range attrs {
@@ -210,74 +306,125 @@ func (s Schema) Positions(attrs []int) []int {
 	return pos
 }
 
+// identityPositions returns [0, 1, ..., n).
+func identityPositions(n int) []int {
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = i
+	}
+	return pos
+}
+
 // KeyOn encodes the projection of t onto the named attributes.
 func (r *Relation) KeyOn(t Tuple, attrs []int) string {
 	return Key(t, r.schema.Positions(attrs))
 }
 
-// Grow reserves capacity for at least n additional tuples.
+// Grow reserves arena capacity for at least n additional tuples.
 func (r *Relation) Grow(n int) {
-	if need := len(r.tuples) + n; need > cap(r.tuples) {
-		grown := make([]Tuple, len(r.tuples), need)
-		copy(grown, r.tuples)
-		r.tuples = grown
+	if need := len(r.data) + n*r.arity; need > cap(r.data) {
+		grown := make([]Value, len(r.data), need)
+		copy(grown, r.data)
+		r.data = grown
 	}
 }
 
-// FromTuples wraps an existing tuple slice as a relation, taking
-// ownership of the slice. Callers guarantee every tuple matches the
-// schema arity; this is the zero-copy assembly path for engine-internal
-// concatenation (see Builder).
+// FromTuples builds a relation by copying the given tuples into a fresh
+// arena. Every tuple must match the schema arity.
 func FromTuples(schema Schema, tuples []Tuple) *Relation {
-	return &Relation{schema: schema, tuples: tuples}
+	out := New(schema)
+	out.Grow(len(tuples))
+	for _, t := range tuples {
+		out.Add(t)
+	}
+	return out
+}
+
+// FromData wraps an existing row-major arena as a relation, taking
+// ownership of the slice. rows must equal len(data)/arity (rows is
+// explicit so 0-ary relations keep their multiplicity); this is the
+// zero-copy assembly path for engine-internal concatenation (see
+// Builder).
+func FromData(schema Schema, data []Value, rows int) *Relation {
+	if arity := schema.Len(); arity*rows != len(data) {
+		panic(fmt.Sprintf("relation: FromData arena length %d != %d rows × arity %d", len(data), rows, arity))
+	}
+	return &Relation{schema: schema, arity: schema.Len(), data: data, rows: rows}
 }
 
 // Sort orders tuples lexicographically in place (for deterministic
-// output and comparisons).
+// output and comparisons). Full-row comparison makes ties identical, so
+// the permutation sort needs no stability to be deterministic.
 func (r *Relation) Sort() {
-	sort.Slice(r.tuples, func(i, j int) bool {
-		return lessTuple(r.tuples[i], r.tuples[j])
-	})
+	r.sortByPositions(identityPositions(r.arity), false)
 }
 
-func lessTuple(a, b Tuple) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
+// SortBy stably orders tuples in place by the given schema positions;
+// rows that compare equal on the positions keep their relative order
+// (the in-place successor of sorting a materialized []Tuple with
+// sort.SliceStable).
+func (r *Relation) SortBy(pos []int) {
+	r.sortByPositions(pos, true)
+}
+
+// sortByPositions sorts via a row-index permutation (slices.SortFunc
+// over arena rows) and one pass applying the permutation into a fresh
+// arena.
+func (r *Relation) sortByPositions(pos []int, stable bool) {
+	if r.rows < 2 || r.arity == 0 {
+		return
 	}
-	return false
+	perm := make([]int32, r.rows)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	cmp := func(a, b int32) int {
+		ra := r.data[int(a)*r.arity:]
+		rb := r.data[int(b)*r.arity:]
+		for _, p := range pos {
+			if ra[p] != rb[p] {
+				if ra[p] < rb[p] {
+					return -1
+				}
+				return 1
+			}
+		}
+		return 0
+	}
+	if stable {
+		slices.SortStableFunc(perm, cmp)
+	} else {
+		slices.SortFunc(perm, cmp)
+	}
+	out := make([]Value, len(r.data))
+	for i, src := range perm {
+		copy(out[i*r.arity:(i+1)*r.arity], r.data[int(src)*r.arity:])
+	}
+	r.data = out
 }
 
 // Equal reports whether two relations hold the same multiset of tuples
 // under equal schemas (order-insensitive).
 func (r *Relation) Equal(o *Relation) bool {
-	if !r.schema.Equal(o.schema) || len(r.tuples) != len(o.tuples) {
+	if !r.schema.Equal(o.schema) || r.rows != o.rows {
 		return false
 	}
 	a, b := r.Clone(), o.Clone()
 	a.Sort()
 	b.Sort()
-	for i := range a.tuples {
-		for j := range a.tuples[i] {
-			if a.tuples[i][j] != b.tuples[i][j] {
-				return false
-			}
-		}
-	}
-	return true
+	return slices.Equal(a.data, b.data)
 }
 
 // String renders up to 20 tuples for debugging.
 func (r *Relation) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Relation%v |%d|", r.schema, len(r.tuples))
-	for i, t := range r.tuples {
+	fmt.Fprintf(&b, "Relation%v |%d|", r.schema, r.rows)
+	for i := 0; i < r.rows; i++ {
 		if i >= 20 {
 			b.WriteString(" ...")
 			break
 		}
-		fmt.Fprintf(&b, " %v", []Value(t))
+		fmt.Fprintf(&b, " %v", []Value(r.Row(i)))
 	}
 	return b.String()
 }

@@ -15,6 +15,7 @@ import (
 	"math/rand/v2"
 
 	"coverpack/internal/fractional"
+	"coverpack/internal/hashtab"
 	"coverpack/internal/hypergraph"
 	"coverpack/internal/relation"
 )
@@ -37,16 +38,14 @@ func Uniform(q *hypergraph.Query, n int, dom int64, seed uint64) *relation.Insta
 			panic(fmt.Sprintf("workload: %s edge %s: %d tuples exceed domain space %.0f",
 				q.Name(), q.Edge(e).Name, n, space))
 		}
-		seen := make(map[string]bool, n)
+		seen := hashtab.New(arity, n)
 		idx := identity(arity)
-		for len(seen) < n {
-			t := make(relation.Tuple, arity)
+		t := make(relation.Tuple, arity)
+		for seen.Len() < n {
 			for j := range t {
 				t[j] = r.Int64N(dom)
 			}
-			k := relation.Key(t, idx)
-			if !seen[k] {
-				seen[k] = true
+			if _, dup := seen.Insert(t, idx); !dup {
 				in.Rel(e).Add(t)
 			}
 		}
@@ -70,16 +69,14 @@ func UniformSizes(q *hypergraph.Query, sizes []int, dom int64, seed uint64) *rel
 			panic(fmt.Sprintf("workload: %s edge %s: %d tuples exceed domain space %.0f",
 				q.Name(), q.Edge(e).Name, sizes[e], space))
 		}
-		seen := make(map[string]bool, sizes[e])
+		seen := hashtab.New(arity, sizes[e])
 		idx := identity(arity)
-		for len(seen) < sizes[e] {
-			t := make(relation.Tuple, arity)
+		t := make(relation.Tuple, arity)
+		for seen.Len() < sizes[e] {
 			for j := range t {
 				t[j] = r.Int64N(dom)
 			}
-			k := relation.Key(t, idx)
-			if !seen[k] {
-				seen[k] = true
+			if _, dup := seen.Insert(t, idx); !dup {
 				in.Rel(e).Add(t)
 			}
 		}
@@ -97,12 +94,12 @@ func Zipf(q *hypergraph.Query, n int, dom int64, s float64, seed uint64) *relati
 	in := relation.NewInstance(q)
 	for e := 0; e < q.NumEdges(); e++ {
 		arity := q.EdgeVars(e).Len()
-		seen := make(map[string]bool, n)
+		seen := hashtab.New(arity, n)
 		idx := identity(arity)
 		attempts := 0
 		var fill int64
-		for len(seen) < n {
-			t := make(relation.Tuple, arity)
+		t := make(relation.Tuple, arity)
+		for seen.Len() < n {
 			if attempts < 20*n {
 				for j := range t {
 					t[j] = sampler.sample(r)
@@ -117,9 +114,7 @@ func Zipf(q *hypergraph.Query, n int, dom int64, s float64, seed uint64) *relati
 				fill++
 			}
 			attempts++
-			k := relation.Key(t, idx)
-			if !seen[k] {
-				seen[k] = true
+			if _, dup := seen.Insert(t, idx); !dup {
 				in.Rel(e).Add(t)
 			}
 		}
@@ -227,7 +222,7 @@ func fillCartesian(r *relation.Relation, attrs []int, doms map[int]int64) {
 	var rec func(i int)
 	rec = func(i int) {
 		if i == len(attrs) {
-			r.Add(t.Clone())
+			r.Add(t) // Add copies into the arena
 			return
 		}
 		p := schema.Pos(attrs[i])
@@ -376,16 +371,18 @@ func ProvableHard(q *hypergraph.Query, w *fractional.Witness, n int, seed uint64
 		if count < 0 {
 			count = 0
 		}
-		seen := make(map[string]bool, count)
-		idx := identity(len(attrs))
-		for len(seen) < count {
-			t := make(relation.Tuple, schema.Len())
+		// Dedup on the edge's columns at their schema positions.
+		kpos := make([]int, len(attrs))
+		for i, a := range attrs {
+			kpos[i] = schema.Pos(a)
+		}
+		seen := hashtab.New(len(attrs), count)
+		t := make(relation.Tuple, schema.Len())
+		for seen.Len() < count {
 			for _, a := range attrs {
 				t[schema.Pos(a)] = r.Int64N(doms[a])
 			}
-			k := relation.Key(t, idx)
-			if !seen[k] {
-				seen[k] = true
+			if _, dup := seen.Insert(t, kpos); !dup {
 				rel.Add(t)
 			}
 		}

@@ -1,0 +1,190 @@
+// Allocation benchmarks for the columnar-arena + hashtab refactor: the
+// hot paths the refactor targets (hash join, dedup, HashPartition
+// routing, reduce-by-key, and the Table 1 load-scaling driver), each
+// with b.ReportAllocs so allocs/op and bytes/op are first-class
+// metrics. `go test -run TestBenchMemoryJSON -benchjson` re-measures
+// every row and writes BENCH_memory.json next to the committed
+// pre-refactor baseline, so the allocation reduction is auditable (see
+// EXPERIMENTS.md, "Reading the allocation benchmarks").
+package coverpack_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"coverpack"
+	"coverpack/internal/hypergraph"
+	"coverpack/internal/mpc"
+	"coverpack/internal/primitives"
+	"coverpack/internal/relation"
+)
+
+// memJoinInputs builds the two-relation hash-join workload: R(0,1) and
+// S(1,2), 10k rows each over a shared domain of 1k join values.
+func memJoinInputs() (*relation.Relation, *relation.Relation) {
+	r := relation.New(relation.NewSchema(0, 1))
+	s := relation.New(relation.NewSchema(1, 2))
+	for i := int64(0); i < 10000; i++ {
+		r.AddValues(i, i%1000)
+		s.AddValues(i%1000, i)
+	}
+	return r, s
+}
+
+// BenchmarkMemHashJoin measures the local hash join (build + probe) —
+// the operator every per-server join step funnels through.
+func BenchmarkMemHashJoin(b *testing.B) {
+	r, s := memJoinInputs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := r.Join(s); out.Len() == 0 {
+			b.Fatal("empty join")
+		}
+	}
+}
+
+// BenchmarkMemDedupe measures full-tuple deduplication.
+func BenchmarkMemDedupe(b *testing.B) {
+	r := relation.New(relation.NewSchema(0, 1))
+	for i := int64(0); i < 20000; i++ {
+		r.AddValues(i%5000, i%777)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := r.Dedup(); out.Len() == 0 {
+			b.Fatal("empty dedup")
+		}
+	}
+}
+
+// BenchmarkMemHashPartition measures the simulator's hash-routing
+// exchange, the single hottest loop of every load-scaling experiment.
+func BenchmarkMemHashPartition(b *testing.B) {
+	in := coverpack.Uniform(hypergraph.Line3Join(), 10000, 100000, 1)
+	c := mpc.NewCluster(16)
+	g := c.Root()
+	d := g.Scatter(in.Rel(0))
+	attr := in.Query.AttrID("X1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d = g.HashPartition(d, []int{attr})
+	}
+}
+
+// BenchmarkMemReduceByKey measures the keyed aggregation primitive
+// (local pre-aggregation + fan-in + home-server reduce).
+func BenchmarkMemReduceByKey(b *testing.B) {
+	r := relation.New(relation.NewSchema(0, 1))
+	for i := int64(0); i < 20000; i++ {
+		r.AddValues(i%997, 1)
+	}
+	c := mpc.NewCluster(16)
+	g := c.Root()
+	d := g.Scatter(r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := primitives.ReduceByKey(g, d, []int{0}, 1)
+		if out.Len() == 0 {
+			b.Fatal("empty reduce")
+		}
+	}
+}
+
+// BenchmarkMemLoadScaling measures the Table 1 load-scaling driver end
+// to end (the paper's experiment loop: execute at each p, fit the
+// exponent) on the line-3 AGM worst case.
+func BenchmarkMemLoadScaling(b *testing.B) {
+	in, err := coverpack.AGMWorstCase(hypergraph.Line3Join(), 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := coverpack.LoadScaling(coverpack.AlgAcyclicOptimal, in, []int{4, 16, 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// memRow is one benchmark's allocation profile.
+type memRow struct {
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+}
+
+// memBaseline is the committed pre-refactor profile, measured on the
+// seed engine ([]Tuple rows + string-keyed maps) with this same file at
+// commit 9d69afb. The JSON writer embeds it as "baseline" so every
+// regenerated BENCH_memory.json carries the before/after comparison.
+var memBaseline = map[string]memRow{
+	"hash-join":      {AllocsPerOp: 165076, BytesPerOp: 17381524, NsPerOp: 16708135},
+	"dedupe":         {AllocsPerOp: 40088, BytesPerOp: 3793208, NsPerOp: 3643543},
+	"hash-partition": {AllocsPerOp: 10181, BytesPerOp: 622281, NsPerOp: 423422},
+	"reduce-by-key":  {AllocsPerOp: 232123, BytesPerOp: 11561902, NsPerOp: 14836709},
+	"load-scaling":   {AllocsPerOp: 38786, BytesPerOp: 1809076, NsPerOp: 1823262},
+}
+
+// TestBenchMemoryJSON re-measures the allocation benchmarks and writes
+// BENCH_memory.json with the committed pre-refactor baseline alongside.
+// Run with: go test -run TestBenchMemoryJSON -benchjson
+func TestBenchMemoryJSON(t *testing.T) {
+	if !*benchJSON {
+		t.Skip("pass -benchjson to measure allocations and write BENCH_memory.json")
+	}
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"hash-join", BenchmarkMemHashJoin},
+		{"dedupe", BenchmarkMemDedupe},
+		{"hash-partition", BenchmarkMemHashPartition},
+		{"reduce-by-key", BenchmarkMemReduceByKey},
+		{"load-scaling", BenchmarkMemLoadScaling},
+	}
+	type outRow struct {
+		memRow
+		BaselineAllocs int64   `json:"baseline_allocs_per_op"`
+		BaselineBytes  int64   `json:"baseline_bytes_per_op"`
+		AllocReduction float64 `json:"alloc_reduction_x"`
+	}
+	out := struct {
+		NumCPU   int               `json:"numcpu"`
+		Baseline string            `json:"baseline"`
+		Rows     map[string]outRow `json:"rows"`
+	}{NumCPU: runtime.NumCPU(), Baseline: "seed engine ([]Tuple rows + map[string] hashing)", Rows: map[string]outRow{}}
+
+	for _, bench := range benches {
+		res := testing.Benchmark(bench.fn)
+		row := outRow{
+			memRow: memRow{
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+				NsPerOp:     float64(res.NsPerOp()),
+			},
+			BaselineAllocs: memBaseline[bench.name].AllocsPerOp,
+			BaselineBytes:  memBaseline[bench.name].BytesPerOp,
+		}
+		if row.AllocsPerOp > 0 {
+			row.AllocReduction = float64(row.BaselineAllocs) / float64(row.AllocsPerOp)
+		}
+		out.Rows[bench.name] = row
+		t.Logf("%-16s %8d allocs/op %10d B/op (baseline %8d allocs/op, %.1fx fewer)",
+			bench.name, row.AllocsPerOp, row.BytesPerOp, row.BaselineAllocs, row.AllocReduction)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_memory.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_memory.json")
+}
