@@ -81,7 +81,10 @@ type jsonRow struct {
 	Error               string  `json:"error,omitempty"`
 }
 
-func printJSON(queries []*coverpack.Query) {
+// classifyRows computes the machine-readable classification of each
+// query — the pure core of -json, separated from stdout so the golden
+// test can pin the output byte for byte.
+func classifyRows(queries []*coverpack.Query) []jsonRow {
 	rows := make([]jsonRow, 0, len(queries))
 	for _, q := range queries {
 		row := jsonRow{Name: q.Name(), Query: q.String()}
@@ -106,6 +109,11 @@ func printJSON(queries []*coverpack.Query) {
 		row.LowerBoundExponent = a.LowerBoundExponent
 		rows = append(rows, row)
 	}
+	return rows
+}
+
+func printJSON(queries []*coverpack.Query) {
+	rows := classifyRows(queries)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rows); err != nil {

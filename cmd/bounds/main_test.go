@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"coverpack"
+)
+
+var update = flag.Bool("update", false, "rewrite the testdata golden files")
+
+// TestCatalogJSONGolden pins the -json output for the paper's catalog:
+// the classification, the exact rationals ρ*/τ*/ψ*, and the load
+// exponents are the numbers Table 1 and Figures 1–3 state, so any drift
+// is a correctness regression, not a formatting choice. Regenerate with
+// go test ./cmd/bounds -update after an intentional change.
+func TestCatalogJSONGolden(t *testing.T) {
+	var queries []*coverpack.Query
+	for _, e := range coverpack.Catalog() {
+		queries = append(queries, e.Query)
+	}
+	rows := classifyRows(queries)
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n') // printJSON's json.Encoder emits a trailing newline
+
+	golden := filepath.Join("testdata", "catalog.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("catalog -json output drifted from %s (rerun with -update if intentional)\ngot:\n%s", golden, data)
+	}
+}
+
+// TestAdHocQueryRow covers the single-query path: an ad-hoc triangle
+// classifies as cyclic with ρ* = 3/2, and an analysis failure lands in
+// the row's error field instead of aborting the listing.
+func TestAdHocQueryRow(t *testing.T) {
+	q, err := coverpack.ParseQuery("cli", "R1(A,B) R2(B,C) R3(C,A)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := classifyRows([]*coverpack.Query{q})
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Error != "" {
+		t.Fatalf("unexpected error: %s", r.Error)
+	}
+	if r.Rho != "3/2" {
+		t.Fatalf("triangle rho = %q, want 3/2", r.Rho)
+	}
+	if r.Acyclic {
+		t.Fatal("triangle classified acyclic")
+	}
+}

@@ -257,6 +257,13 @@ type ExecOptions struct {
 	// Recorder receives the execution's trace events (typically a
 	// *TraceCollector); nil runs untraced.
 	Recorder TraceRecorder
+	// NoPlanCache disables the simulator's exchange-plan cache (and is
+	// the differential-testing lever: results are byte-identical with
+	// the cache on or off; only wall-clock time differs).
+	NoPlanCache bool
+	// PlanStats, when non-nil, receives the exchange-plan cache counters
+	// (hits, misses, partition hits, ...) after the run.
+	PlanStats *CacheStats
 }
 
 // Execute runs one algorithm on a fresh p-server cluster and returns
@@ -279,6 +286,9 @@ func ExecuteOpts(alg Algorithm, in *Instance, p int, eo ExecOptions) (*Report, e
 	}
 	if eo.Workers != 0 && eo.Workers != 1 {
 		opts = append(opts, mpc.WithWorkers(eo.Workers))
+	}
+	if eo.NoPlanCache {
+		opts = append(opts, mpc.WithPlanCache(false))
 	}
 	c := mpc.NewCluster(p, opts...)
 	g := c.Root()
@@ -334,6 +344,9 @@ func ExecuteOpts(alg Algorithm, in *Instance, p int, eo ExecOptions) (*Report, e
 		return nil, fmt.Errorf("coverpack: unknown algorithm %v", alg)
 	}
 	rep.Stats = c.Stats()
+	if eo.PlanStats != nil {
+		*eo.PlanStats = c.PlanCacheStats()
+	}
 	return rep, nil
 }
 

@@ -1,19 +1,28 @@
 package coverpack_test
 
 import (
+	"fmt"
 	"reflect"
 	"runtime"
 	"testing"
 
 	"coverpack"
 	"coverpack/internal/hypergraph"
+	"coverpack/internal/relation"
 )
 
 // The differential determinism oracle: every catalog query × every
 // algorithm that accepts it, executed under the sequential engine and
-// under several goroutine-parallel configurations, must produce the
-// same report (emitted count, Stats, chosen L) and the same trace —
-// span tree and per-phase load attribution — bit for bit.
+// under several goroutine-parallel configurations, with the plan/index
+// caches enabled and disabled, must produce the same report (emitted
+// count, Stats, chosen L) and the same trace — span tree and per-phase
+// load attribution — bit for bit. The cache-off sequential run is the
+// reference: it is the pre-caching code path, so any divergence in a
+// cached or parallel arm is a determinism-contract violation.
+//
+// Stats.SeqFallback is the one deliberate exception: it records the
+// execution mode (whether WithWorkers degraded to sequential on a
+// single-CPU host), not a result, so comparisons normalize it.
 
 var oracleAlgorithms = []coverpack.Algorithm{
 	coverpack.AlgAcyclicOptimal,
@@ -35,12 +44,36 @@ func oracleWorkerSet() []int {
 	return ws
 }
 
+// runCfg is one execution configuration of the oracle matrix.
+type runCfg struct {
+	workers int
+	cache   bool // plan cache AND retained key indexes
+}
+
+func (c runCfg) String() string {
+	cache := "cache-on"
+	if !c.cache {
+		cache = "cache-off"
+	}
+	return fmt.Sprintf("workers=%d/%s", c.workers, cache)
+}
+
 // tracedRun executes one configuration with a collector attached and
-// returns the report plus both trace artifacts.
-func tracedRun(t *testing.T, alg coverpack.Algorithm, in *coverpack.Instance, p, workers int) (*coverpack.Report, *coverpack.TraceSpan, []coverpack.PhaseRow, error) {
+// returns the report plus both trace artifacts. Cache-off disables both
+// the cluster's exchange-plan cache and the relation layer's retained
+// key indexes, restoring the latter global before returning.
+func tracedRun(t *testing.T, alg coverpack.Algorithm, in *coverpack.Instance, p int, cfg runCfg) (*coverpack.Report, *coverpack.TraceSpan, []coverpack.PhaseRow, error) {
 	t.Helper()
+	if !cfg.cache {
+		relation.SetIndexCaching(false)
+		defer relation.SetIndexCaching(true)
+	}
 	col := coverpack.NewTraceCollector()
-	rep, err := coverpack.ExecuteOpts(alg, in, p, coverpack.ExecOptions{Workers: workers, Recorder: col})
+	rep, err := coverpack.ExecuteOpts(alg, in, p, coverpack.ExecOptions{
+		Workers:     cfg.workers,
+		Recorder:    col,
+		NoPlanCache: !cfg.cache,
+	})
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -48,43 +81,57 @@ func tracedRun(t *testing.T, alg coverpack.Algorithm, in *coverpack.Instance, p,
 	return rep, root, coverpack.PhaseTable(root), nil
 }
 
-// assertRunsAgree compares a parallel run against the sequential
-// reference across every observable.
+// assertRunsAgree compares a run against the reference across every
+// observable. SeqFallback is execution metadata (see the file comment),
+// so it is zeroed on both sides before comparing.
 func assertRunsAgree(t *testing.T, label string,
 	seqRep *coverpack.Report, seqRoot *coverpack.TraceSpan, seqPhases []coverpack.PhaseRow,
 	parRep *coverpack.Report, parRoot *coverpack.TraceSpan, parPhases []coverpack.PhaseRow) {
 	t.Helper()
-	if *seqRep != *parRep {
-		t.Errorf("%s: report diverged\n  sequential: emitted=%d stats={%v} L=%d\n  parallel:   emitted=%d stats={%v} L=%d",
+	sr, pr := *seqRep, *parRep
+	sr.Stats.SeqFallback, pr.Stats.SeqFallback = false, false
+	if sr != pr {
+		t.Errorf("%s: report diverged\n  reference: emitted=%d stats={%v} L=%d\n  candidate: emitted=%d stats={%v} L=%d",
 			label, seqRep.Emitted, seqRep.Stats, seqRep.L, parRep.Emitted, parRep.Stats, parRep.L)
 	}
 	if !reflect.DeepEqual(seqPhases, parPhases) {
-		t.Errorf("%s: per-phase load attribution diverged:\n  sequential: %+v\n  parallel:   %+v", label, seqPhases, parPhases)
+		t.Errorf("%s: per-phase load attribution diverged:\n  reference: %+v\n  candidate: %+v", label, seqPhases, parPhases)
 	}
 	if !reflect.DeepEqual(seqRoot, parRoot) {
 		t.Errorf("%s: trace span trees diverged (events, order, or structure)", label)
 	}
 }
 
+// oracleConfigs is the comparison matrix: the reference (sequential,
+// caches off — the pre-caching code path) against sequential cache-on
+// plus, per worker count, parallel cache-on and cache-off.
+func oracleConfigs() []runCfg {
+	cfgs := []runCfg{{workers: 1, cache: true}}
+	for _, w := range oracleWorkerSet() {
+		cfgs = append(cfgs, runCfg{workers: w, cache: true}, runCfg{workers: w, cache: false})
+	}
+	return cfgs
+}
+
 // runOracle exercises every algorithm that accepts the instance's query
-// under each parallel configuration.
+// under each configuration of the matrix.
 func runOracle(t *testing.T, in *coverpack.Instance, p int) {
 	for _, alg := range oracleAlgorithms {
-		seqRep, seqRoot, seqPhases, err := tracedRun(t, alg, in, p, 1)
+		seqRep, seqRoot, seqPhases, err := tracedRun(t, alg, in, p, runCfg{workers: 1, cache: false})
 		if err != nil {
 			// The algorithm rejects this query class (e.g. AlgTriangle on a
 			// star); nothing to compare.
 			continue
 		}
-		for _, w := range oracleWorkerSet() {
-			parRep, parRoot, parPhases, err := tracedRun(t, alg, in, p, w)
+		for _, cfg := range oracleConfigs() {
+			rep, root, phases, err := tracedRun(t, alg, in, p, cfg)
 			if err != nil {
-				t.Errorf("%s/%s workers=%d: parallel run failed where sequential succeeded: %v",
-					in.Query.Name(), alg, w, err)
+				t.Errorf("%s/%s %v: run failed where the reference succeeded: %v",
+					in.Query.Name(), alg, cfg, err)
 				continue
 			}
-			label := in.Query.Name() + "/" + alg.String() + "/workers=" + string(rune('0'+w%10))
-			assertRunsAgree(t, label, seqRep, seqRoot, seqPhases, parRep, parRoot, parPhases)
+			label := in.Query.Name() + "/" + alg.String() + "/" + cfg.String()
+			assertRunsAgree(t, label, seqRep, seqRoot, seqPhases, rep, root, phases)
 		}
 	}
 }

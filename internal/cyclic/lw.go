@@ -41,14 +41,23 @@ func RunLW(g *mpc.Group, in *relation.Instance) (*Result, error) {
 		delta = 1
 	}
 
+	// One dedup + scatter per relation, shared by the statistics loop
+	// (each edge recurs once per incident attribute — n−1 times for
+	// LW_n) and the 2^n-mask stratification loop below.
+	dedup := make([]*relation.Relation, q.NumEdges())
+	scattered := make([]*mpc.DistRelation, q.NumEdges())
+	for e := 0; e < q.NumEdges(); e++ {
+		dedup[e] = in.Rel(e).Dedup()
+		scattered[e] = g.Scatter(dedup[e])
+	}
+
 	cntAttr := q.NumAttrs() + 1
 	heavy := make(map[int]map[relation.Value]bool, nAttrs)
 	g.Span("statistics", func() {
 		for _, a := range attrs {
 			heavy[a] = make(map[relation.Value]bool)
 			for _, e := range q.EdgesWith(a).Edges() {
-				d := g.Scatter(in.Rel(e).Dedup())
-				degs := primitives.Degrees(g, d, a, cntAttr)
+				degs := primitives.Degrees(g, scattered[e], a, cntAttr)
 				rows := g.Gather(g.Local(degs, func(_ int, f *relation.Relation) *relation.Relation {
 					out := relation.New(f.Schema())
 					cp := f.Schema().Pos(cntAttr)
@@ -109,7 +118,7 @@ func RunLW(g *mpc.Group, in *relation.Instance) (*Result, error) {
 		empty := false
 		for e := 0; e < q.NumEdges(); e++ {
 			em := edgeMask(e)
-			src := in.Rel(e).Dedup()
+			src := dedup[e]
 			dst := strat.Rel(e)
 			for i := 0; i < src.Len(); i++ {
 				if t := src.Row(i); pattern(src, t) == mask&em {

@@ -53,6 +53,17 @@ func RunTriangle(g *mpc.Group, in *relation.Instance) (*Result, error) {
 		delta = 1
 	}
 
+	// Dedup and scatter each relation once up front: every edge is
+	// visited twice by the statistics loop (once per incident attribute)
+	// and eight more times by the stratification loop, and both the
+	// dedup and the initial placement are identical each time.
+	dedup := make([]*relation.Relation, q.NumEdges())
+	scattered := make([]*mpc.DistRelation, q.NumEdges())
+	for e := 0; e < q.NumEdges(); e++ {
+		dedup[e] = in.Rel(e).Dedup()
+		scattered[e] = g.Scatter(dedup[e])
+	}
+
 	// Heavy values per attribute: degree > δ in either incident
 	// relation (Degrees + small gather, both charged).
 	cntAttr := q.NumAttrs() + 1
@@ -61,8 +72,7 @@ func RunTriangle(g *mpc.Group, in *relation.Instance) (*Result, error) {
 		for _, a := range attrs {
 			heavy[a] = make(map[relation.Value]bool)
 			for _, e := range q.EdgesWith(a).Edges() {
-				d := g.Scatter(in.Rel(e).Dedup())
-				degs := primitives.Degrees(g, d, a, cntAttr)
+				degs := primitives.Degrees(g, scattered[e], a, cntAttr)
 				rows := g.Gather(g.Local(degs, func(_ int, f *relation.Relation) *relation.Relation {
 					out := relation.New(f.Schema())
 					cp := f.Schema().Pos(cntAttr)
@@ -123,7 +133,7 @@ func RunTriangle(g *mpc.Group, in *relation.Instance) (*Result, error) {
 		empty := false
 		for e := 0; e < q.NumEdges(); e++ {
 			em := edgeMask(e)
-			src := in.Rel(e).Dedup()
+			src := dedup[e]
 			dst := strat.Rel(e)
 			for i := 0; i < src.Len(); i++ {
 				if t := src.Row(i); pattern(src, t) == mask&em {

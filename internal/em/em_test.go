@@ -80,6 +80,59 @@ func TestReduceLinearLoadFitsInMemory(t *testing.T) {
 	}
 }
 
+// TestReduceRoundTripTwoMemorySizes runs the full reduction round trip
+// (profile → fitted exponent → p* → priced I/Os) at two memory sizes
+// and checks it against the model it came from: p* must be the minimal
+// server count whose fitted load fits in M/r, and more memory must never
+// cost more servers or more I/Os.
+func TestReduceRoundTripTwoMemorySizes(t *testing.T) {
+	n := 1 << 20
+	profile := syntheticProfile(n, 2, 3, 4, 16, 64, 256)
+	x, c, err := FitExponent(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := func(p int) float64 { return c * float64(n) / math.Pow(float64(p), 1/x) }
+
+	small := Params{M: 1 << 12, B: 1 << 5}
+	large := Params{M: 1 << 16, B: 1 << 5}
+	rs, err := Reduce(profile, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Reduce(profile, large)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rl.PStar > rs.PStar {
+		t.Fatalf("more memory needs more servers: p*(M=%d)=%d > p*(M=%d)=%d",
+			large.M, rl.PStar, small.M, rs.PStar)
+	}
+	if rl.IOs > rs.IOs {
+		t.Fatalf("more memory costs more I/Os: %.3g > %.3g", rl.IOs, rs.IOs)
+	}
+	for _, tc := range []struct {
+		machine Params
+		res     *Result
+	}{{small, rs}, {large, rl}} {
+		budget := float64(tc.machine.M) / float64(profile.Rounds)
+		// The fitted load at p* fits the per-round memory budget (small
+		// tolerance for the ceil in p* and the regression fit)...
+		if got := load(tc.res.PStar); got > 1.01*budget {
+			t.Fatalf("M=%d: load(p*=%d) = %.1f exceeds budget %.1f",
+				tc.machine.M, tc.res.PStar, got, budget)
+		}
+		// ...and p* is minimal: one server fewer would overflow it.
+		if tc.res.PStar > 1 {
+			if got := load(tc.res.PStar - 1); got <= 0.99*budget {
+				t.Fatalf("M=%d: p*-1=%d already fits (load %.1f <= budget %.1f)",
+					tc.machine.M, tc.res.PStar-1, got, budget)
+			}
+		}
+	}
+}
+
 func TestReduceValidation(t *testing.T) {
 	profile := syntheticProfile(1000, 2, 1, 2, 8)
 	for _, m := range []Params{{M: 0, B: 1}, {M: 10, B: 0}, {M: 4, B: 8}} {

@@ -37,12 +37,20 @@ type SkewAwareResult struct {
 // heavy lists are broadcast to all servers, also accounted.
 func heavyValues(g *mpc.Group, in *relation.Instance, threshold int64, countAttr int) map[int]map[relation.Value]bool {
 	q := in.Query
+	// Scatter each relation once: the loop below revisits an edge for
+	// every attribute it contains, and the initial placement (free, but
+	// a full copy in simulator time) is identical each visit. The
+	// repeated Degrees calls over one scattered relation then share
+	// plan-cache entries for their keyed exchanges.
+	scattered := make([]*mpc.DistRelation, q.NumEdges())
+	for e := 0; e < q.NumEdges(); e++ {
+		scattered[e] = g.Scatter(in.Rel(e))
+	}
 	heavy := make(map[int]map[relation.Value]bool)
 	for _, a := range q.AllVars().Attrs() {
 		heavy[a] = make(map[relation.Value]bool)
 		for _, e := range q.EdgesWith(a).Edges() {
-			d := g.Scatter(in.Rel(e))
-			degs := primitives.Degrees(g, d, a, countAttr)
+			degs := primitives.Degrees(g, scattered[e], a, countAttr)
 			// Keep only heavy rows, then broadcast them (every server
 			// needs the cutoff lists to classify its tuples).
 			hv := g.Local(degs, func(_ int, f *relation.Relation) *relation.Relation {

@@ -45,12 +45,38 @@ import (
 // the sequential engine; n > 1 enables goroutine-parallel execution
 // with at most n concurrently running goroutines; n <= 0 selects
 // runtime.GOMAXPROCS(0). Results are byte-identical for every setting.
+//
+// When more than one worker is requested but the process has only one
+// schedulable CPU (runtime.GOMAXPROCS(0) == 1), the pool cannot run
+// anything concurrently — the cluster falls back to the sequential
+// engine and records the fallback in Stats.SeqFallback. Results are
+// unchanged (the engines are byte-identical by contract); only the
+// execution mode differs.
 func WithWorkers(n int) Option {
 	return func(c *Cluster) {
 		if n <= 0 {
 			n = runtime.GOMAXPROCS(0)
 		}
+		if n > 1 && runtime.GOMAXPROCS(0) == 1 {
+			c.workers = 1
+			c.fellBack = true
+			return
+		}
 		c.workers = n
+		c.fellBack = false
+	}
+}
+
+// withForcedWorkers sets the pool size bypassing the GOMAXPROCS
+// fallback. Test seam: the determinism and race suites must exercise
+// the concurrent code paths even on single-CPU CI shards.
+func withForcedWorkers(n int) Option {
+	return func(c *Cluster) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		c.workers = n
+		c.fellBack = false
 	}
 }
 
@@ -224,8 +250,12 @@ func (c *Cluster) buildFrags(builders []*relation.Builder) []*relation.Relation 
 	return frags
 }
 
-// parHashPartition is HashPartition's fan-out path.
-func (g *Group) parHashPartition(d *DistRelation, pos []int) *DistRelation {
+// parHashPartition is HashPartition's fan-out path. When record is set
+// it additionally captures per-destination packed source indices for
+// the plan cache: each chunk collects its own per-destination lists,
+// and the lists are concatenated in chunk order — which equals the
+// flattened input order the sequential recorder appends in.
+func (g *Group) parHashPartition(d *DistRelation, pos []int, record bool) (*DistRelation, *exchangePlan) {
 	k := g.size
 	chunks := flatChunks(d, g.cluster.workers)
 	m := len(chunks)
@@ -234,21 +264,59 @@ func (g *Group) parHashPartition(d *DistRelation, pos []int) *DistRelation {
 		builders[i] = relation.NewBuilder(d.Schema, m)
 	}
 	recvs := make([][]int, m)
+	var dests [][][]uint64
+	if record {
+		dests = make([][][]uint64, m)
+	}
 	charge := g.cluster.chargeSelfSends
 	g.cluster.fork(m, func(ci int) {
 		recv := make([]int, k)
-		forEachTuple(d, chunks[ci], func(_ *relation.Relation, src int, t relation.Tuple, _ int) {
-			dest := int(hashtab.Hash(t, pos) % uint64(k))
-			builders[dest].Shard(ci).Add(t)
-			if charge || dest != src || src >= k {
-				recv[dest]++
+		var dest [][]uint64
+		if record {
+			dest = make([][]uint64, k)
+		}
+		// Iterate franges directly (not forEachTuple): recording needs
+		// the in-fragment row index for the packed source reference.
+		for _, rg := range chunks[ci] {
+			f := d.Frags[rg.frag]
+			src := rg.frag
+			for i := rg.lo; i < rg.hi; i++ {
+				t := f.Row(i)
+				dst := int(hashtab.Hash(t, pos) % uint64(k))
+				builders[dst].Shard(ci).Add(t)
+				if record {
+					dest[dst] = append(dest[dst], uint64(src)<<32|uint64(i))
+				}
+				if charge || dst != src || src >= k {
+					recv[dst]++
+				}
 			}
-		})
+		}
 		recvs[ci] = recv
+		if record {
+			dests[ci] = dest
+		}
 	})
 	out := &DistRelation{Schema: d.Schema, Frags: g.cluster.buildFrags(builders)}
-	g.chargeRound(trace.OpHashPartition, foldRecv(recvs, k))
-	return out
+	recv := foldRecv(recvs, k)
+	g.chargeRound(trace.OpHashPartition, recv)
+	var plan *exchangePlan
+	if record {
+		dest := make([][]uint64, k)
+		for dst := 0; dst < k; dst++ {
+			n := 0
+			for ci := 0; ci < m; ci++ {
+				n += len(dests[ci][dst])
+			}
+			dl := make([]uint64, 0, n)
+			for ci := 0; ci < m; ci++ {
+				dl = append(dl, dests[ci][dst]...)
+			}
+			dest[dst] = dl
+		}
+		plan = &exchangePlan{dest: dest, recv: recv}
+	}
+	return out, plan
 }
 
 // parRoute is Route's fan-out path. route must be pure (see Route).

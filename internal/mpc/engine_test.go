@@ -2,6 +2,7 @@ package mpc
 
 import (
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -28,8 +29,11 @@ type capture struct {
 func runScenario(p, workers int, scenario func(g *Group, keep func(rs ...*relation.Relation))) capture {
 	col := trace.NewCollector()
 	var cap capture
+	// withForcedWorkers: equivalence runs must exercise the concurrent
+	// engine even on single-CPU shards, where WithWorkers would fall
+	// back to sequential (and flag Stats.SeqFallback).
 	c := NewCluster(p,
-		WithWorkers(workers),
+		withForcedWorkers(workers),
 		WithRecorder(col),
 		WithLoadObserver(func(m int) { cap.loads = append(cap.loads, m) }))
 	scenario(c.Root(), func(rs ...*relation.Relation) { cap.outs = append(cap.outs, rs...) })
@@ -321,7 +325,7 @@ func TestFlatChunksPartitionFlattenedOrder(t *testing.T) {
 }
 
 func TestForkPanicPropagatesLowestIndex(t *testing.T) {
-	c := NewCluster(4, WithWorkers(4))
+	c := NewCluster(4, withForcedWorkers(4))
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -339,7 +343,7 @@ func TestForkPanicPropagatesLowestIndex(t *testing.T) {
 }
 
 func TestRoutePanicUnderParallelEngine(t *testing.T) {
-	c := NewCluster(4, WithWorkers(4))
+	c := NewCluster(4, withForcedWorkers(4))
 	g := c.Root()
 	d := g.Scatter(big(relation.NewSchema(0), 2000))
 	defer func() {
@@ -355,7 +359,7 @@ func TestRoutePanicUnderParallelEngine(t *testing.T) {
 }
 
 func TestNestedForkDoesNotDeadlock(t *testing.T) {
-	c := NewCluster(4, WithWorkers(2))
+	c := NewCluster(4, withForcedWorkers(2))
 	sums := make([]int64, 4)
 	c.fork(4, func(i int) {
 		inner := make([]int64, 8)
@@ -377,10 +381,68 @@ func TestWithWorkersOption(t *testing.T) {
 	if got := NewCluster(2).Workers(); got != 1 {
 		t.Fatalf("default workers = %d, want 1", got)
 	}
-	if got := NewCluster(2, WithWorkers(6)).Workers(); got != 6 {
-		t.Fatalf("workers = %d, want 6", got)
+	if c := NewCluster(2); c.Stats().SeqFallback {
+		t.Fatal("default cluster reports SeqFallback")
+	}
+	multiCPU := runtime.GOMAXPROCS(0) > 1
+	c := NewCluster(2, WithWorkers(6))
+	if multiCPU {
+		if got := c.Workers(); got != 6 {
+			t.Fatalf("workers = %d, want 6", got)
+		}
+		if c.Stats().SeqFallback {
+			t.Fatal("multi-CPU cluster reports SeqFallback")
+		}
+	} else {
+		// Single schedulable CPU: the pool cannot run concurrently, so
+		// the cluster must fall back to sequential and say so.
+		if got := c.Workers(); got != 1 {
+			t.Fatalf("workers = %d under GOMAXPROCS=1, want 1 (fallback)", got)
+		}
+		if !c.Stats().SeqFallback {
+			t.Fatal("GOMAXPROCS=1 fallback not recorded in Stats.SeqFallback")
+		}
 	}
 	if got := NewCluster(2, WithWorkers(0)).Workers(); got < 1 {
 		t.Fatalf("auto workers = %d, want >= 1", got)
+	}
+	if got := NewCluster(2, withForcedWorkers(6)).Workers(); got != 6 {
+		t.Fatalf("forced workers = %d, want 6", got)
+	}
+}
+
+// TestWithWorkersFallbackUnderSingleCPU pins GOMAXPROCS to 1 so the
+// fallback path is exercised regardless of the host's CPU count, and
+// verifies results are unchanged (the sequential engine runs).
+func TestWithWorkersFallbackUnderSingleCPU(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	c := NewCluster(3, WithWorkers(4))
+	if got := c.Workers(); got != 1 {
+		t.Fatalf("workers = %d, want 1", got)
+	}
+	g := c.Root()
+	d := g.Scatter(big(relation.NewSchema(0, 1), 2000))
+	out := g.HashPartition(d, []int{0})
+	if out.Len() != 2000 {
+		t.Fatalf("partitioned %d tuples, want 2000", out.Len())
+	}
+	if !c.Stats().SeqFallback {
+		t.Fatal("fallback not recorded")
+	}
+
+	ref := NewCluster(3)
+	rg := ref.Root()
+	rout := rg.HashPartition(rg.Scatter(big(relation.NewSchema(0, 1), 2000)), []int{0})
+	rs, gs := ref.Stats(), c.Stats()
+	rs.SeqFallback, gs.SeqFallback = false, false
+	if rs != gs {
+		t.Fatalf("fallback stats %+v, want %+v", gs, rs)
+	}
+	for i := range rout.Frags {
+		if rout.Frags[i].Len() != out.Frags[i].Len() {
+			t.Fatalf("fragment %d: %d tuples, want %d", i, out.Frags[i].Len(), rout.Frags[i].Len())
+		}
 	}
 }

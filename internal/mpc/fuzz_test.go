@@ -32,12 +32,15 @@ func FuzzHashPartitionRouting(f *testing.F) {
 		seqD := seqG.Scatter(in.Clone())
 		seqOut := seqG.HashPartition(seqD, []int{0})
 
-		parC := NewCluster(p, WithWorkers(workers))
+		// withForcedWorkers: the GOMAXPROCS fallback would otherwise
+		// degrade to the sequential engine (and flag SeqFallback) on
+		// single-CPU fuzz shards.
+		parC := NewCluster(p, withForcedWorkers(workers))
 		parG := parC.Root()
 		parD := parG.Scatter(in.Clone())
 		// Call the fan-out path directly: HashPartition itself would fall
 		// back to the sequential loop below parThreshold tuples.
-		parOut := parG.parHashPartition(parD, pos)
+		parOut, _ := parG.parHashPartition(parD, pos, false)
 
 		// Invariant: every input tuple lands on exactly one server.
 		if got := parOut.Len(); got != in.Len() {

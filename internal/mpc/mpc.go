@@ -64,6 +64,7 @@ package mpc
 import (
 	"fmt"
 	"hash/fnv"
+	"slices"
 	"strconv"
 
 	"coverpack/internal/hashtab"
@@ -83,6 +84,11 @@ type Stats struct {
 	TotalUnits int64
 	// ServersUsed is the peak number of concurrently active servers.
 	ServersUsed int
+	// SeqFallback records that a parallel engine was requested but the
+	// cluster fell back to sequential execution (GOMAXPROCS == 1; see
+	// WithWorkers). It is execution metadata, not a cost, and is
+	// excluded from String() so formatted outputs are unchanged.
+	SeqFallback bool
 }
 
 func (s Stats) String() string {
@@ -110,8 +116,14 @@ type Cluster struct {
 
 	// workers is the engine pool size (1 = sequential); tokens admits
 	// up to workers−1 extra goroutines cluster-wide (see engine.go).
-	workers int
-	tokens  chan struct{}
+	// fellBack records the WithWorkers GOMAXPROCS=1 fallback.
+	workers  int
+	tokens   chan struct{}
+	fellBack bool
+
+	// plans is the exchange-plan cache (see plancache.go); nil when
+	// disabled via WithPlanCache(false).
+	plans *planCache
 }
 
 // Option configures a Cluster at construction.
@@ -144,13 +156,29 @@ func WithChargeSelfSends(charge bool) Option {
 	return func(c *Cluster) { c.chargeSelfSends = charge }
 }
 
+// WithPlanCache enables or disables the exchange-plan cache (see
+// plancache.go). The default is enabled; disabling exists for
+// differential testing and cache-off benchmarking — all observable
+// results (outputs, Stats, traces) are identical either way.
+func WithPlanCache(enabled bool) Option {
+	return func(c *Cluster) {
+		if enabled {
+			if c.plans == nil {
+				c.plans = newPlanCache()
+			}
+			return
+		}
+		c.plans = nil
+	}
+}
+
 // NewCluster creates a cluster with the given server budget and a root
 // group of exactly that size.
 func NewCluster(p int, opts ...Option) *Cluster {
 	if p <= 0 {
 		panic(fmt.Sprintf("mpc: cluster needs p >= 1, got %d", p))
 	}
-	c := &Cluster{Budget: p, chargeSelfSends: true, workers: 1}
+	c := &Cluster{Budget: p, chargeSelfSends: true, workers: 1, plans: newPlanCache()}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -169,7 +197,11 @@ func (c *Cluster) SetLoadObserver(fn func(maxLoad int)) { c.onRound = fn }
 func (c *Cluster) Root() *Group { return c.root }
 
 // Stats returns the accumulated cost of the whole computation so far.
-func (c *Cluster) Stats() Stats { return c.root.Stats() }
+func (c *Cluster) Stats() Stats {
+	s := c.root.Stats()
+	s.SeqFallback = c.fellBack
+	return s
+}
 
 // Group is a set of virtual servers executing one (sub)computation.
 type Group struct {
@@ -281,6 +313,31 @@ func (g *Group) absorbSequential(child *Group) {
 type DistRelation struct {
 	Schema relation.Schema
 	Frags  []*relation.Relation
+
+	// part, when non-nil, records that the fragments are the output of a
+	// HashPartition on these attributes over a group of len(Frags)
+	// servers: every tuple of Frags[i] hashes to i. HashPartition uses it
+	// to elide re-partitioning on the same key entirely (the identity
+	// fast path in plancache.go). The mark describes fragment placement,
+	// not content, so Local and other per-fragment transforms must not
+	// propagate it unless placement is preserved; algorithm layers
+	// propagate it explicitly via MarkPartitioned.
+	part []int
+}
+
+// MarkPartitioned records that d's fragments are hash-partitioned on
+// attrs (tuple t lives on server hashtab.Hash(t, pos) mod len(Frags)).
+// Callers assert placement they have established — e.g. a per-server
+// filter of an already-partitioned relation preserves it.
+func (d *DistRelation) MarkPartitioned(attrs []int) {
+	d.part = append([]int(nil), attrs...)
+}
+
+// PartitionedOn reports whether d is known to be hash-partitioned on
+// exactly these attributes (order-sensitive: the hash covers key columns
+// in the given order).
+func (d *DistRelation) PartitionedOn(attrs []int) bool {
+	return d.part != nil && slices.Equal(d.part, attrs)
 }
 
 // NewDist allocates an empty distributed relation for a group of the
@@ -378,26 +435,77 @@ func LegacyHashDest(t relation.Tuple, pos []int, size int) int {
 
 // HashPartition re-partitions d by the given attributes: every tuple
 // goes to server hash(key) mod size. One round; cost = tuples received.
+//
+// Three fast paths stack in front of the per-tuple loop (all of them
+// produce byte-identical outputs, charges, and traces):
+//
+//  1. d is already partitioned on attrs for this group — the exchange
+//     is the identity (repartitionIdentity).
+//  2. The cluster's plan cache holds a plan for (group size, key,
+//     fragment versions) — replay it without re-hashing (replayPlan).
+//  3. Otherwise compute, and record a plan for next time.
 func (g *Group) HashPartition(d *DistRelation, attrs []int) *DistRelation {
 	pos := d.Schema.Positions(attrs)
-	if g.parallel(d.Len()) {
-		return g.parHashPartition(d, pos)
+	pc := g.cluster.plans
+	var key string
+	if pc != nil && len(d.Frags) == g.size {
+		if d.PartitionedOn(attrs) {
+			return g.repartitionIdentity(d, attrs)
+		}
+		key = planKey(g.size, pos, d.Frags)
+		if plan := pc.lookup(key); plan != nil {
+			out := g.replayPlan(d, plan, attrs)
+			g.chargeRound(trace.OpHashPartition, plan.recv)
+			return out
+		}
 	}
+	record := key != ""
+	var out *DistRelation
+	var plan *exchangePlan
+	if g.parallel(d.Len()) {
+		out, plan = g.parHashPartition(d, pos, record)
+	} else {
+		out, plan = g.seqHashPartition(d, pos, record)
+	}
+	out.part = append([]int(nil), attrs...)
+	if record {
+		plan.out = append([]*relation.Relation(nil), out.Frags...)
+		plan.outVers = versionsOf(out.Frags)
+		pc.store(key, plan)
+	}
+	return out
+}
+
+// seqHashPartition is the sequential exchange loop; when record is set
+// it also captures the per-destination packed source indices for the
+// plan cache (charging is unchanged either way).
+func (g *Group) seqHashPartition(d *DistRelation, pos []int, record bool) (*DistRelation, *exchangePlan) {
 	out := newDistSized(d.Schema, g.size, d.Len())
 	recv := make([]int, g.size)
 	charge := g.cluster.chargeSelfSends
+	var dest [][]uint64
+	if record {
+		dest = make([][]uint64, g.size)
+	}
 	for src, f := range d.Frags {
 		for i := 0; i < f.Len(); i++ {
 			t := f.Row(i)
-			dest := int(hashtab.Hash(t, pos) % uint64(g.size))
-			out.Frags[dest].Add(t)
-			if charge || dest != src || src >= g.size {
-				recv[dest]++
+			dst := int(hashtab.Hash(t, pos) % uint64(g.size))
+			out.Frags[dst].Add(t)
+			if record {
+				dest[dst] = append(dest[dst], uint64(src)<<32|uint64(i))
+			}
+			if charge || dst != src || src >= g.size {
+				recv[dst]++
 			}
 		}
 	}
 	g.chargeRound(trace.OpHashPartition, recv)
-	return out
+	var plan *exchangePlan
+	if record {
+		plan = &exchangePlan{dest: dest, recv: recv}
+	}
+	return out, plan
 }
 
 // Broadcast sends every tuple of d to every server. One round; each

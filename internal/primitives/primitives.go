@@ -68,6 +68,12 @@ func ReduceByKey(g *mpc.Group, d *mpc.DistRelation, keyAttrs []int, valAttr int)
 		parted := g.HashPartition(pre, keyAttrs)
 		out = agg(parted)
 	})
+	// Aggregation preserves placement: every output row keeps its key
+	// values, and parted put each key's rows on hash(key) mod p — so the
+	// result is still partitioned by key, and a follow-up keyed exchange
+	// (Degrees feeding a per-value route, the tree-count reduce chain)
+	// hits the identity fast path instead of re-hashing.
+	out.MarkPartitioned(keyAttrs)
 	return out
 }
 
@@ -234,6 +240,10 @@ func SemiJoin(g *mpc.Group, r, s *mpc.DistRelation) *mpc.DistRelation {
 	g.Fork(len(rp.Frags), func(i int) {
 		out.Frags[i] = rp.Frags[i].SemiJoin(sp.Frags[i])
 	})
+	// The local filter keeps rows in place, so the output inherits rp's
+	// partitioning — the next semi-join of a reduce sweep on the same
+	// key (or the pair join that follows it) skips the exchange.
+	out.MarkPartitioned(common)
 	return out
 }
 

@@ -71,8 +71,15 @@ func Sort(g *mpc.Group, d *mpc.DistRelation, attrs []int) *mpc.DistRelation {
 		}
 		return out
 	})
-	sample := g.Gather(sampleRel)
-	sortRel(sample, pos)
+	// Each gathered fragment is already sorted (the sample walks a
+	// sorted clone in ascending order), so the concatenation is a
+	// sequence of sorted runs: k-way merge with galloping instead of a
+	// full comparison sort.
+	runLens := make([]int, len(sampleRel.Frags))
+	for i, f := range sampleRel.Frags {
+		runLens[i] = f.Len()
+	}
+	sample := g.Gather(sampleRel).MergeRuns(runLens, pos)
 
 	// Splitters: p−1 evenly spaced sample keys. The views stay valid for
 	// the routing round below because sample is never mutated again.

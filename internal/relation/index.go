@@ -1,0 +1,86 @@
+package relation
+
+import (
+	"slices"
+	"sync/atomic"
+
+	"coverpack/internal/hashtab"
+)
+
+// Retained key indexes: the partition-aware hash-table reuse layer.
+//
+// Consecutive keyed operators over the same relation on the same key —
+// SemiJoin followed by Join in a Yannakakis pass, Degrees followed by
+// a keyed route in skew handling, repeated Dedup of a shared input —
+// historically each rebuilt a hashtab table over the same rows. A
+// keyIndex is that table built once and remembered on the relation,
+// validated by (version stamp, key positions) so any mutation or a
+// different key transparently rebuilds. Reuse changes nothing
+// observable: hashtab entries enumerate in first-insert order whether
+// the table is fresh or retained, so probe results and output orders
+// are identical — the differential tests run with caching forced off
+// to prove it.
+
+// keyIndex is a hash index of a relation's rows projected on one
+// position list: the hashtab table (dense first-insert-order entries)
+// plus the per-entry row chains a hash join walks. heads[e] is the
+// first row of entry e; next[i] links rows sharing a key in row order
+// (-1 ends a chain).
+type keyIndex struct {
+	ver   uint64
+	pos   []int
+	table *hashtab.Table
+	heads []int32
+	next  []int32
+}
+
+// indexCachingOff is inverted so the zero value means "caching on".
+var indexCachingOff atomic.Bool
+
+// SetIndexCaching toggles retained-key-index reuse process-wide
+// (default on). Results are identical either way — the switch exists
+// for differential tests and cache-off benchmarking.
+func SetIndexCaching(on bool) { indexCachingOff.Store(!on) }
+
+// IndexCachingEnabled reports whether retained key indexes are in use.
+func IndexCachingEnabled() bool { return !indexCachingOff.Load() }
+
+// indexOn returns the key index of r on pos, reusing the cached one
+// when its version stamp and positions still match.
+func (r *Relation) indexOn(pos []int) *keyIndex {
+	caching := !indexCachingOff.Load()
+	var ver uint64
+	if caching {
+		ver = r.Version()
+		if ix, _ := r.idx.Load().(*keyIndex); ix != nil && ix.ver == ver && slices.Equal(ix.pos, pos) {
+			return ix
+		}
+	}
+	ix := buildKeyIndex(r, pos)
+	if caching {
+		ix.ver = ver
+		r.idx.Store(ix)
+	}
+	return ix
+}
+
+// buildKeyIndex builds the table and row chains in one input-order
+// pass (exactly the build loop the hash join ran inline before).
+func buildKeyIndex(r *Relation, pos []int) *keyIndex {
+	table := hashtab.New(len(pos), r.rows)
+	heads := make([]int32, 0, r.rows)
+	tails := make([]int32, 0, r.rows)
+	next := make([]int32, r.rows)
+	for i := 0; i < r.rows; i++ {
+		next[i] = -1
+		e, found := table.Insert(r.Row(i), pos)
+		if !found {
+			heads = append(heads, int32(i))
+			tails = append(tails, int32(i))
+			continue
+		}
+		next[tails[e]] = int32(i)
+		tails[e] = int32(i)
+	}
+	return &keyIndex{pos: append([]int(nil), pos...), table: table, heads: heads, next: next}
+}

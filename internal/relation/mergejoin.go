@@ -8,7 +8,10 @@ import "slices"
 // groups are combined. It is semantically identical to Join (the hash
 // join) — the property tests enforce the equivalence — and is the
 // algorithm of choice once inputs arrive range-partitioned from the
-// distributed sort primitive.
+// distributed sort primitive. The merge loop gallops (exponential probe
+// + binary search) across non-matching stretches and key groups, so
+// joins with long disjoint key ranges cost O(log) per skipped range
+// instead of O(n); emission order is unchanged.
 func (r *Relation) MergeJoin(s *Relation) *Relation {
 	common := r.schema.Common(s.schema)
 	if len(common) == 0 {
@@ -38,25 +41,20 @@ func (r *Relation) MergeJoin(s *Relation) *Relation {
 
 	i, j := 0, 0
 	for i < len(rp) && j < len(sp) {
-		c := compareKeys(r.Row(rp[i]), rPos, s.Row(sp[j]), sPos)
+		c := compareKeys(r.Row(int(rp[i])), rPos, s.Row(int(sp[j])), sPos)
 		switch {
 		case c < 0:
-			i++
+			// Skip r rows below s's key in one gallop.
+			i = gallopPerm(r, rp, rPos, i+1, s.Row(int(sp[j])), sPos, false)
 		case c > 0:
-			j++
+			j = gallopPerm(s, sp, sPos, j+1, r.Row(int(rp[i])), rPos, false)
 		default:
-			// Gather both key groups and emit the product.
-			i2 := i
-			for i2 < len(rp) && compareKeys(r.Row(rp[i2]), rPos, s.Row(sp[j]), sPos) == 0 {
-				i2++
-			}
-			j2 := j
-			for j2 < len(sp) && compareKeys(r.Row(rp[i]), rPos, s.Row(sp[j2]), sPos) == 0 {
-				j2++
-			}
+			// Gallop to both key-group ends and emit the product.
+			i2 := gallopPerm(r, rp, rPos, i+1, r.Row(int(rp[i])), rPos, true)
+			j2 := gallopPerm(s, sp, sPos, j+1, s.Row(int(sp[j])), sPos, true)
 			for a := i; a < i2; a++ {
 				for b := j; b < j2; b++ {
-					emit(r.Row(rp[a]), s.Row(sp[b]))
+					emit(r.Row(int(rp[a])), s.Row(int(sp[b])))
 				}
 			}
 			i, j = i2, j2
@@ -65,16 +63,62 @@ func (r *Relation) MergeJoin(s *Relation) *Relation {
 	return out
 }
 
+// gallopPerm returns the first index k in [from, len(perm)) whose row
+// compares >= the key of t at tPos (> when past is true), assuming
+// perm orders r on pos. Exponential probe then binary search.
+func gallopPerm(r *Relation, perm []int32, pos []int, from int, t Tuple, tPos []int, past bool) int {
+	bound := 0
+	if past {
+		bound = 1
+	}
+	above := func(k int) bool {
+		return compareKeys(r.Row(int(perm[k])), pos, t, tPos) >= bound
+	}
+	lo, hi := from, len(perm)
+	if lo >= hi || above(lo) {
+		return lo
+	}
+	step := 1
+	for lo+step < hi && !above(lo+step) {
+		lo += step
+		step <<= 1
+	}
+	if lo+step < hi {
+		hi = lo + step
+	}
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if above(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
 // sortedPerm returns the row indices of r ordered stably by the given
 // positions (equal keys keep input order, matching the historical
-// sort.SliceStable over materialized tuples).
-func sortedPerm(r *Relation, pos []int) []int {
-	perm := make([]int, r.rows)
-	for i := range perm {
-		perm[i] = i
+// sort.SliceStable over materialized tuples). Already-sorted inputs get
+// the identity permutation from one linear scan; large inputs take the
+// stable radix kernel.
+func sortedPerm(r *Relation, pos []int) []int32 {
+	if r.rows < 2 || r.sortedOnPositions(pos) {
+		perm := make([]int32, r.rows)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		return perm
 	}
-	slices.SortStableFunc(perm, func(a, b int) int {
-		ta, tb := r.Row(a), r.Row(b)
+	if r.rows >= radixMinRows {
+		return radixPerm(r.data, r.rows, r.arity, pos)
+	}
+	perm := make([]int32, r.rows)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	slices.SortStableFunc(perm, func(a, b int32) int {
+		ta, tb := r.Row(int(a)), r.Row(int(b))
 		for _, p := range pos {
 			if ta[p] != tb[p] {
 				if ta[p] < tb[p] {

@@ -110,13 +110,16 @@ func (r *Relation) Dedup() *Relation {
 		}
 		return out
 	}
-	seen := hashtab.New(r.arity, r.rows)
-	all := identityPositions(r.arity)
-	for i := 0; i < r.rows; i++ {
-		t := r.Row(i)
-		if _, found := seen.Insert(t, all); !found {
-			out.Add(t)
-		}
+	// The full-row key index doubles as the dedup table: entry e's head
+	// row is the first occurrence of its key, and entries enumerate in
+	// first-insert order, so emitting heads in entry order reproduces
+	// the historical first-seen output exactly. Repeated Dedup of an
+	// unchanged relation (e.g. shared inputs re-deduped per stratum)
+	// reuses the retained index.
+	ix := r.indexOn(identityPositions(r.arity))
+	out.Grow(len(ix.heads))
+	for _, h := range ix.heads {
+		out.Add(r.Row(int(h)))
 	}
 	return out
 }
@@ -137,7 +140,7 @@ func (r *Relation) SemiJoin(s *Relation) *Relation {
 		}
 		return r.Clone()
 	}
-	probe := buildKeySet(s, common)
+	probe := s.indexOn(s.schema.Positions(common)).table
 	rPos := r.schema.Positions(common)
 	out := New(r.schema)
 	for i := 0; i < r.rows; i++ {
@@ -158,7 +161,7 @@ func (r *Relation) AntiJoin(s *Relation) *Relation {
 		}
 		return New(r.schema)
 	}
-	probe := buildKeySet(s, common)
+	probe := s.indexOn(s.schema.Positions(common)).table
 	rPos := r.schema.Positions(common)
 	out := New(r.schema)
 	for i := 0; i < r.rows; i++ {
@@ -167,17 +170,6 @@ func (r *Relation) AntiJoin(s *Relation) *Relation {
 		}
 	}
 	return out
-}
-
-// buildKeySet inserts every row of s, projected on the named attributes,
-// into a fresh hashtab table (set semantics).
-func buildKeySet(s *Relation, attrs []int) *hashtab.Table {
-	pos := s.schema.Positions(attrs)
-	set := hashtab.New(len(pos), s.rows)
-	for i := 0; i < s.rows; i++ {
-		set.Insert(s.Row(i), pos)
-	}
-	return set
 }
 
 // Join returns the natural join r ⋈ s (hash join on the shared
@@ -217,9 +209,11 @@ func (r *Relation) Join(s *Relation) *Relation {
 		}
 		return out
 	}
-	// Build on the smaller side. The table maps each key to its chain of
-	// build rows (head/next links in build order), replacing the legacy
-	// map[string][]Tuple with the same per-key iteration order.
+	// Build on the smaller side. The key index maps each key to its
+	// chain of build rows (head/next links in build order), replacing
+	// the legacy map[string][]Tuple with the same per-key iteration
+	// order; a retained index from an earlier keyed op on the same side
+	// and key (e.g. the semi-join that filtered it) is reused as-is.
 	build, probe := s, r
 	buildIsS := true
 	if r.Len() < s.Len() {
@@ -228,28 +222,14 @@ func (r *Relation) Join(s *Relation) *Relation {
 	}
 	buildPos := build.schema.Positions(common)
 	probePos := probe.schema.Positions(common)
-	table := hashtab.New(len(common), build.rows)
-	heads := make([]int32, 0, build.rows) // entry -> first build row
-	tails := make([]int32, 0, build.rows) // entry -> last build row
-	next := make([]int32, build.rows)     // build row -> next row, -1 ends
-	for i := 0; i < build.rows; i++ {
-		next[i] = -1
-		e, found := table.Insert(build.Row(i), buildPos)
-		if !found {
-			heads = append(heads, int32(i))
-			tails = append(tails, int32(i))
-			continue
-		}
-		next[tails[e]] = int32(i)
-		tails[e] = int32(i)
-	}
+	ix := build.indexOn(buildPos)
 	for i := 0; i < probe.rows; i++ {
 		t := probe.Row(i)
-		e := table.Find(t, probePos)
+		e := ix.table.Find(t, probePos)
 		if e < 0 {
 			continue
 		}
-		for b := heads[e]; b >= 0; b = next[b] {
+		for b := ix.heads[e]; b >= 0; b = ix.next[b] {
 			bt := build.Row(int(b))
 			if buildIsS {
 				emit(t, bt)

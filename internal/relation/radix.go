@@ -1,0 +1,193 @@
+package relation
+
+// LSD radix sort and galloping merge kernels over int64 arena columns.
+//
+// radixPerm is the workhorse behind Sort/SortBy/MergeJoin on large
+// relations: a least-significant-digit radix sort of the row indices,
+// one key column at a time from last to first, eight bits per pass.
+// Every counting pass is stable, so the whole permutation is stable —
+// byte-for-byte the permutation slices.SortStableFunc would produce —
+// which is what keeps golden outputs unchanged when the kernel kicks
+// in. Signed order falls out of flipping the sign bit before bucketing
+// (two's-complement int64 order equals unsigned order of v ^ 1<<63).
+//
+// MergeRuns is the k-way complement: it merges consecutive sorted runs
+// of one relation into fully sorted order, stable across runs (ties go
+// to the earlier run), galloping through long single-run stretches.
+// A stable merge of sorted runs equals a stable sort of their
+// concatenation, so it can replace sortRel wherever the input is known
+// to be a concatenation of sorted runs — e.g. the gathered splitter
+// sample in internal/primitives.Sort.
+
+// radixMinRows is the row count at which radixPerm beats the
+// comparison sort; below it sortByPositions keeps the slices.SortFunc
+// path (fewer fixed costs, no 64-bit key buffer).
+const radixMinRows = 128
+
+// sortedOnPositions reports whether rows are non-decreasing on the
+// given schema positions — the one linear scan that lets Sort/SortBy
+// skip the permutation pass entirely.
+func (r *Relation) sortedOnPositions(pos []int) bool {
+	for i := 1; i < r.rows; i++ {
+		a := r.data[(i-1)*r.arity:]
+		b := r.data[i*r.arity:]
+		for _, p := range pos {
+			if a[p] != b[p] {
+				if a[p] > b[p] {
+					return false
+				}
+				break
+			}
+		}
+	}
+	return true
+}
+
+// radixPerm returns the stable sorted row permutation of the arena on
+// the given positions. rows must be >= 2.
+func radixPerm(data []Value, rows, arity int, pos []int) []int32 {
+	perm := make([]int32, rows)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	tmp := make([]int32, rows)
+	keys := make([]uint64, rows)
+	for c := len(pos) - 1; c >= 0; c-- {
+		p := pos[c]
+		for i := 0; i < rows; i++ {
+			keys[i] = uint64(data[i*arity+p]) ^ (1 << 63)
+		}
+		for shift := uint(0); shift < 64; shift += 8 {
+			var cnt [256]int
+			for i := 0; i < rows; i++ {
+				cnt[byte(keys[i]>>shift)]++
+			}
+			// A uniform digit (common in the high bytes of small values)
+			// permutes nothing; skip the placement pass.
+			if cnt[byte(keys[0]>>shift)] == rows {
+				continue
+			}
+			var off [256]int
+			sum := 0
+			for d := 0; d < 256; d++ {
+				off[d] = sum
+				sum += cnt[d]
+			}
+			for _, pi := range perm {
+				d := byte(keys[pi]>>shift)
+				tmp[off[d]] = pi
+				off[d]++
+			}
+			perm, tmp = tmp, perm
+		}
+	}
+	return perm
+}
+
+// compareRowsAt compares rows i and j of r on the given positions.
+func (r *Relation) compareRowsAt(i, j int, pos []int) int {
+	a := r.data[i*r.arity:]
+	b := r.data[j*r.arity:]
+	for _, p := range pos {
+		if a[p] != b[p] {
+			if a[p] < b[p] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// gallopRows returns the first index k in [lo, hi) whose row compares
+// > row limit on pos (>= when strict), by exponential probing then
+// binary search. Rows in [lo, hi) must be sorted on pos.
+func (r *Relation) gallopRows(lo, hi, limit int, pos []int, strict bool) int {
+	bound := 1
+	if strict {
+		bound = 0
+	}
+	above := func(k int) bool { return r.compareRowsAt(k, limit, pos) >= bound }
+	if lo >= hi || above(lo) {
+		return lo
+	}
+	step := 1
+	for lo+step < hi && !above(lo+step) {
+		lo += step
+		step <<= 1
+	}
+	if lo+step < hi {
+		hi = lo + step
+	}
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if above(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// MergeRuns merges consecutive sorted runs of r into one relation
+// sorted on the given schema positions: run i spans rows
+// [sum(runLens[:i]), sum(runLens[:i+1])) and must be internally sorted
+// on pos. The merge is stable across runs — ties emit earlier runs
+// first — so the output equals r.Clone() followed by a stable sort on
+// pos, at merge cost instead of sort cost.
+func (r *Relation) MergeRuns(runLens []int, pos []int) *Relation {
+	type run struct{ next, end int }
+	runs := make([]run, 0, len(runLens))
+	start := 0
+	for _, n := range runLens {
+		if n < 0 {
+			panic("relation: MergeRuns negative run length")
+		}
+		if n > 0 {
+			runs = append(runs, run{start, start + n})
+		}
+		start += n
+	}
+	if start != r.rows {
+		panic("relation: MergeRuns run lengths do not cover the relation")
+	}
+	if len(runs) <= 1 {
+		return r.Clone()
+	}
+	out := New(r.schema)
+	out.Grow(r.rows)
+	appendRange := func(lo, hi int) {
+		out.data = append(out.data, r.data[lo*r.arity:hi*r.arity]...)
+		out.rows += hi - lo
+	}
+	for len(runs) > 1 {
+		// Winner: smallest head, ties to the earliest run (stability).
+		min := 0
+		for i := 1; i < len(runs); i++ {
+			if r.compareRowsAt(runs[i].next, runs[min].next, pos) < 0 {
+				min = i
+			}
+		}
+		// Runner-up head bounds how far the winner can emit in one gallop.
+		oth := -1
+		for i := range runs {
+			if i == min {
+				continue
+			}
+			if oth < 0 || r.compareRowsAt(runs[i].next, runs[oth].next, pos) < 0 {
+				oth = i
+			}
+		}
+		// The winner emits rows <= the runner-up head when it precedes the
+		// runner-up (its equal rows come first), rows < it otherwise.
+		n := r.gallopRows(runs[min].next, runs[min].end, runs[oth].next, pos, min > oth)
+		appendRange(runs[min].next, n)
+		runs[min].next = n
+		if n == runs[min].end {
+			runs = append(runs[:min], runs[min+1:]...)
+		}
+	}
+	appendRange(runs[0].next, runs[0].end)
+	return out
+}

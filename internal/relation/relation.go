@@ -27,6 +27,7 @@ import (
 	"slices"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Value is a single attribute value.
@@ -151,6 +152,17 @@ type Relation struct {
 	arity  int
 	data   []Value // row i at data[i*arity : (i+1)*arity]
 	rows   int     // row count (len(data)/arity, tracked for arity 0)
+
+	// ver is the lazily assigned content-version stamp: 0 means
+	// unstamped or dirty, any other value was drawn from the global
+	// version counter and identifies this exact arena content. Mutators
+	// reset it to 0; Version() stamps on demand. See version.go.
+	ver uint64
+	// idx caches the last key index built over this relation (always a
+	// *keyIndex), validated against ver + positions on reuse. See
+	// index.go. atomic.Value rather than a plain pointer so readers on
+	// other goroutines (shared immutable fragments) stay race-free.
+	idx atomic.Value
 }
 
 // New returns an empty relation with the given schema.
@@ -220,6 +232,9 @@ func (r *Relation) Add(t Tuple) {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("relation: tuple arity %d != schema arity %d", len(t), r.arity))
 	}
+	if atomic.LoadUint64(&r.ver) != 0 {
+		r.invalidate()
+	}
 	r.data = append(r.data, t...)
 	r.rows++
 }
@@ -231,6 +246,9 @@ func (r *Relation) AddValues(vals ...Value) { r.Add(Tuple(vals)) }
 func (r *Relation) Append(o *Relation) {
 	if !r.schema.Equal(o.schema) {
 		panic("relation: Append schema mismatch")
+	}
+	if atomic.LoadUint64(&r.ver) != 0 {
+		r.invalidate()
 	}
 	r.data = append(r.data, o.data...)
 	r.rows += o.rows
@@ -367,40 +385,54 @@ func (r *Relation) SortBy(pos []int) {
 	r.sortByPositions(pos, true)
 }
 
-// sortByPositions sorts via a row-index permutation (slices.SortFunc
-// over arena rows) and one pass applying the permutation into a fresh
-// arena.
+// sortByPositions sorts via a row-index permutation and one pass
+// applying the permutation into a fresh arena. Already-sorted inputs
+// (detected by one linear scan — common for fragments returned by a
+// cached re-exchange) skip the permutation and arena copy entirely,
+// leaving the arena and version stamp untouched. Large inputs take the
+// stable LSD radix path (radix.go); its permutation is identical to
+// slices.SortStableFunc's, and for the unstable full-row Sort() call
+// tie rows are whole-row-equal so stability is indistinguishable.
 func (r *Relation) sortByPositions(pos []int, stable bool) {
-	if r.rows < 2 || r.arity == 0 {
+	if r.rows < 2 || r.arity == 0 || len(pos) == 0 {
 		return
 	}
-	perm := make([]int32, r.rows)
-	for i := range perm {
-		perm[i] = int32(i)
+	if r.sortedOnPositions(pos) {
+		return
 	}
-	cmp := func(a, b int32) int {
-		ra := r.data[int(a)*r.arity:]
-		rb := r.data[int(b)*r.arity:]
-		for _, p := range pos {
-			if ra[p] != rb[p] {
-				if ra[p] < rb[p] {
-					return -1
-				}
-				return 1
-			}
-		}
-		return 0
-	}
-	if stable {
-		slices.SortStableFunc(perm, cmp)
+	var perm []int32
+	if r.rows >= radixMinRows {
+		perm = radixPerm(r.data, r.rows, r.arity, pos)
 	} else {
-		slices.SortFunc(perm, cmp)
+		perm = make([]int32, r.rows)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		cmp := func(a, b int32) int {
+			ra := r.data[int(a)*r.arity:]
+			rb := r.data[int(b)*r.arity:]
+			for _, p := range pos {
+				if ra[p] != rb[p] {
+					if ra[p] < rb[p] {
+						return -1
+					}
+					return 1
+				}
+			}
+			return 0
+		}
+		if stable {
+			slices.SortStableFunc(perm, cmp)
+		} else {
+			slices.SortFunc(perm, cmp)
+		}
 	}
 	out := make([]Value, len(r.data))
 	for i, src := range perm {
 		copy(out[i*r.arity:(i+1)*r.arity], r.data[int(src)*r.arity:])
 	}
 	r.data = out
+	r.invalidate()
 }
 
 // Equal reports whether two relations hold the same multiset of tuples

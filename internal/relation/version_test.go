@@ -1,0 +1,138 @@
+package relation
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestVersionStableUntilMutation(t *testing.T) {
+	r := New(NewSchema(0, 1))
+	r.AddValues(1, 2)
+	v1 := r.Version()
+	if v1 == 0 {
+		t.Fatal("version 0 is reserved for unstamped")
+	}
+	if v2 := r.Version(); v2 != v1 {
+		t.Fatalf("version changed without mutation: %d -> %d", v1, v2)
+	}
+	r.AddValues(3, 4)
+	if v3 := r.Version(); v3 == v1 {
+		t.Fatal("mutation did not change the version")
+	}
+}
+
+func TestVersionNeverReused(t *testing.T) {
+	// Same content before and after a mutation cycle must still get
+	// distinct stamps — identity is allocation order, not content hash.
+	r := New(NewSchema(0))
+	r.AddValues(7)
+	v1 := r.Version()
+	r.AddValues(8)
+	s := New(NewSchema(0))
+	s.AddValues(7)
+	if v2 := s.Version(); v2 == v1 {
+		t.Fatalf("stamp %d reused for a different relation", v1)
+	}
+}
+
+func TestVersionDistinctAcrossRelations(t *testing.T) {
+	a, b := New(NewSchema(0)), New(NewSchema(0))
+	a.AddValues(1)
+	b.AddValues(1)
+	if a.Version() == b.Version() {
+		t.Fatal("two relations share a version stamp")
+	}
+}
+
+func TestVersionConcurrentStamping(t *testing.T) {
+	r := New(NewSchema(0))
+	r.AddValues(1)
+	const n = 16
+	got := make([]uint64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i] = r.Version()
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("concurrent stampers disagree: %d vs %d", got[i], got[0])
+		}
+	}
+}
+
+func TestIndexReusedUntilInvalidated(t *testing.T) {
+	r := New(NewSchema(0, 1))
+	for i := int64(0); i < 50; i++ {
+		r.AddValues(i%5, i)
+	}
+	ix1 := r.indexOn([]int{0})
+	if ix2 := r.indexOn([]int{0}); ix2 != ix1 {
+		t.Fatal("unchanged relation rebuilt its key index")
+	}
+	// A different key must not reuse the cached index.
+	if ix3 := r.indexOn([]int{1}); ix3 == ix1 {
+		t.Fatal("index reused across different key positions")
+	}
+	// Mutation invalidates: the next build is fresh.
+	r.AddValues(99, 99)
+	if ix4 := r.indexOn([]int{0}); ix4 == ix1 {
+		t.Fatal("index survived a mutation")
+	}
+}
+
+func TestIndexCachingToggle(t *testing.T) {
+	r := New(NewSchema(0))
+	for i := int64(0); i < 40; i++ {
+		r.AddValues(i % 4)
+	}
+	if !IndexCachingEnabled() {
+		t.Fatal("caching should default to on")
+	}
+	SetIndexCaching(false)
+	defer SetIndexCaching(true)
+	if IndexCachingEnabled() {
+		t.Fatal("toggle off not observed")
+	}
+	ix1 := r.indexOn([]int{0})
+	if ix2 := r.indexOn([]int{0}); ix2 == ix1 {
+		t.Fatal("index cached while caching is off")
+	}
+}
+
+// Dedup, SemiJoin and Join must produce identical outputs with the
+// retained index on and off (the relation-level analogue of the
+// cluster-level difftest).
+func TestKeyedOpsIdenticalWithCachingOff(t *testing.T) {
+	mk := func() (*Relation, *Relation) {
+		r := New(NewSchema(0, 1))
+		s := New(NewSchema(1, 2))
+		for i := int64(0); i < 60; i++ {
+			r.AddValues(i%7, i%11)
+			s.AddValues(i%11, i%5)
+		}
+		return r, s
+	}
+	r1, s1 := mk()
+	onDedup := r1.Dedup()
+	onSemi := r1.SemiJoin(s1)
+	onJoin := r1.Join(s1)
+
+	SetIndexCaching(false)
+	defer SetIndexCaching(true)
+	r2, s2 := mk()
+	if got := r2.Dedup(); !got.Equal(onDedup) {
+		t.Fatal("Dedup differs with caching off")
+	}
+	if got := r2.SemiJoin(s2); !got.Equal(onSemi) {
+		t.Fatal("SemiJoin differs with caching off")
+	}
+	if got := r2.Join(s2); !got.Equal(onJoin) {
+		t.Fatal("Join differs with caching off")
+	}
+}

@@ -102,5 +102,11 @@ func pairJoin(g *mpc.Group, a, b *mpc.DistRelation) *mpc.DistRelation {
 	g.Fork(len(ap.Frags), func(i int) {
 		out.Frags[i] = ap.Frags[i].Join(bp.Frags[i])
 	})
+	// Joined rows keep the join-key values of their inputs, so the
+	// output stays partitioned on common — the parent's pairJoin on the
+	// same key (frequent in path/star trees) elides its exchange. The
+	// semi-join phase has usually marked a and b already, turning ap/bp
+	// into identity exchanges too.
+	out.MarkPartitioned(common)
 	return out
 }

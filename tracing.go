@@ -25,6 +25,11 @@ type TraceSpan = trace.Span
 // PhaseRow is one line of the per-phase load-attribution table.
 type PhaseRow = trace.PhaseRow
 
+// CacheStats reports the exchange-plan cache counters of one execution
+// (see ExecOptions.PlanStats). The counters are diagnostics only — they
+// never influence Reports, Stats, or traces.
+type CacheStats = trace.CacheStats
+
 // TraceFormat names a trace rendering: jsonl, chrome, or heatmap.
 type TraceFormat = trace.Format
 
