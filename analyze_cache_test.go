@@ -1,0 +1,71 @@
+package coverpack_test
+
+import (
+	"math/big"
+	"testing"
+
+	"coverpack"
+	"coverpack/internal/hypergraph"
+)
+
+// TestAnalyzeMemoized pins the Analyze memoization contract: the first
+// analysis of a hypergraph is a miss, every repeat is a hit, and hits
+// return private copies — mutating a returned Analysis never corrupts
+// the cache.
+func TestAnalyzeMemoized(t *testing.T) {
+	coverpack.ResetAnalyzeCache()
+	q := hypergraph.Line3Join()
+
+	first, err := coverpack.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := coverpack.AnalyzeCacheStats(); hits != 0 || misses != 1 {
+		t.Fatalf("after first analyze: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+
+	for i := 0; i < 3; i++ {
+		again, err := coverpack.Analyze(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Rho.Cmp(first.Rho) != 0 || again.Tau.Cmp(first.Tau) != 0 || again.Psi.Cmp(first.Psi) != 0 {
+			t.Fatalf("memoized analysis differs: %+v vs %+v", again, first)
+		}
+	}
+	if hits, misses := coverpack.AnalyzeCacheStats(); hits != 3 || misses != 1 {
+		t.Fatalf("after repeats: hits=%d misses=%d, want 3/1", hits, misses)
+	}
+
+	// A structurally identical query parsed separately hits the same
+	// entry (the key is the hypergraph's identity, not the pointer).
+	dup := hypergraph.MustParse(q.Name(), q.String())
+	if _, err := coverpack.Analyze(dup); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := coverpack.AnalyzeCacheStats(); hits != 4 {
+		t.Fatalf("separately parsed identical query missed the cache (hits=%d)", hits)
+	}
+
+	// A different query is its own miss.
+	if _, err := coverpack.Analyze(hypergraph.TriangleJoin()); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := coverpack.AnalyzeCacheStats(); hits != 4 || misses != 2 {
+		t.Fatalf("after second query: hits=%d misses=%d, want 4/2", hits, misses)
+	}
+
+	// Returned analyses are private copies: clobber one and re-fetch.
+	first.Rho.SetInt64(-7)
+	clean, err := coverpack.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Rho.Cmp(big.NewRat(-7, 1)) == 0 {
+		t.Fatal("mutating a returned Analysis corrupted the cache")
+	}
+	coverpack.ResetAnalyzeCache()
+	if hits, misses := coverpack.AnalyzeCacheStats(); hits != 0 || misses != 0 {
+		t.Fatalf("reset left counters at %d/%d", hits, misses)
+	}
+}

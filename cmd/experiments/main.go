@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -26,7 +27,11 @@ func main() {
 	small := flag.Bool("small", false, "use small experiment sizes")
 	traceFile := flag.String("trace", "", "capture a trace of a representative run to this file")
 	traceFormat := flag.String("trace-format", "chrome", "trace rendering: jsonl, chrome, or heatmap")
-	workers := flag.Int("workers", 0, "goroutine workers for the simulator (0 = GOMAXPROCS, 1 = sequential); tables are identical for every setting")
+	workers := flag.Int("workers", 0, "goroutine workers INSIDE one simulated run (0 = GOMAXPROCS, 1 = sequential); independent of -parallel — the two multiply; tables are identical for every setting")
+	parallel := flag.Int("parallel", 1, "run-level sweep workers: how many experiment cells (independent simulator runs) execute concurrently (0 = GOMAXPROCS); tables are identical for every setting")
+	memBudget := flag.Int64("membudget", 0, "admission budget in total tuples resident across in-flight cells (0 = default, negative = unlimited)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	sub := "all"
 	if flag.NArg() > 0 {
@@ -43,7 +48,32 @@ func main() {
 	if nw <= 0 {
 		nw = runtime.GOMAXPROCS(0)
 	}
-	cfg := experiments.Config{Small: *small, Workers: nw}
+	np := *parallel
+	if np <= 0 {
+		np = runtime.GOMAXPROCS(0)
+	}
+	if product := nw * np; product > runtime.NumCPU() {
+		fmt.Fprintf(os.Stderr, "experiments: warning: -workers(%d) × -parallel(%d) = %d goroutines exceeds %d CPUs; oversubscription adds scheduling overhead without extra speedup\n",
+			nw, np, product, runtime.NumCPU())
+	}
+	cfg := experiments.Config{Small: *small, Workers: nw, RunWorkers: np, MemBudget: *memBudget}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer writeHeapProfile(*memProfile)
+	}
 
 	start := time.Now()
 	var tables []experiments.Table
@@ -89,7 +119,7 @@ func main() {
 	for _, t := range tables {
 		printTable(t)
 	}
-	fmt.Printf("wall-clock %s (workers=%d of %d CPUs)\n", elapsed.Round(time.Millisecond), nw, runtime.NumCPU())
+	fmt.Printf("wall-clock %s (run-workers=%d × intra-run workers=%d of %d CPUs)\n", elapsed.Round(time.Millisecond), np, nw, runtime.NumCPU())
 
 	if *traceFile != "" {
 		if err := captureTrace(sub, cfg, *traceFile, *traceFormat); err != nil {
@@ -122,6 +152,22 @@ func captureTrace(sub string, cfg experiments.Config, file, format string) error
 	fmt.Printf("trace written to %s (%s)\n\n", file, tf)
 	printTable(experiments.PhaseTableOf(root))
 	return nil
+}
+
+// writeHeapProfile snapshots the heap after a final GC so the profile
+// reflects retained memory (pool contents included), not transient
+// garbage.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+	}
 }
 
 func one(t experiments.Table, err error) ([]experiments.Table, error) {

@@ -10,10 +10,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"coverpack"
+	"coverpack/internal/sched"
 )
 
 func main() {
@@ -30,7 +32,10 @@ func main() {
 		decisions = flag.Bool("decisions", false, "print the acyclic algorithm's decision log")
 		traceFile = flag.String("trace", "", "write an execution trace to this file")
 		traceFmt  = flag.String("trace-format", "chrome", "trace rendering: jsonl, chrome, or heatmap")
-		workers   = flag.Int("workers", 0, "goroutine workers for the simulator (0 = GOMAXPROCS, 1 = sequential); results are identical for every setting")
+		workers   = flag.Int("workers", 0, "goroutine workers INSIDE the simulated run (0 = GOMAXPROCS, 1 = sequential); results are identical for every setting")
+		parallel  = flag.Int("parallel", 1, "repeat the run this many times concurrently through the run-level scheduler and require identical reports (determinism stress mode)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -80,11 +85,52 @@ func main() {
 	if nw <= 0 {
 		nw = runtime.GOMAXPROCS(0)
 	}
+	reps := *parallel
+	if reps < 1 {
+		reps = 1
+	}
+	if product := nw * reps; product > runtime.NumCPU() {
+		fmt.Fprintf(os.Stderr, "mpcjoin: warning: -workers(%d) × -parallel(%d) = %d goroutines exceeds %d CPUs; oversubscription adds scheduling overhead without extra speedup\n",
+			nw, reps, product, runtime.NumCPU())
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mpcjoin:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mpcjoin:", err)
+			}
+		}()
+	}
+
 	start := time.Now()
-	rep, err := coverpack.ExecuteOpts(alg, in, *p, coverpack.ExecOptions{Workers: nw, Recorder: rec})
+	var rep *coverpack.Report
+	var err2 error
+	if reps == 1 {
+		rep, err2 = coverpack.ExecuteOpts(alg, in, *p, coverpack.ExecOptions{Workers: nw, Recorder: rec})
+	} else {
+		rep, err2 = runRepeated(alg, in, *p, nw, reps, rec)
+	}
 	elapsed := time.Since(start)
-	if err != nil {
-		fatal(err)
+	if err2 != nil {
+		fatal(err2)
 	}
 	if *decisions {
 		lines, terr := coverpack.TraceRun(alg, in, *p)
@@ -123,6 +169,41 @@ func main() {
 	fmt.Printf("emitted     %d join results\n", rep.Emitted)
 	fmt.Printf("cost        %s\n", rep.Stats)
 	fmt.Printf("wall-clock  %s  (workers=%d of %d CPUs)\n", elapsed.Round(time.Microsecond), nw, runtime.NumCPU())
+}
+
+// runRepeated executes the same join reps times concurrently through
+// the run-level scheduler and requires every repetition to produce the
+// identical report — a CLI-reachable determinism stress test. The trace
+// recorder, if any, is attached to the first repetition only.
+func runRepeated(alg coverpack.Algorithm, in *coverpack.Instance, p, workers, reps int, rec coverpack.TraceRecorder) (*coverpack.Report, error) {
+	out := make([]*coverpack.Report, reps)
+	cells := make([]sched.Cell, reps)
+	for i := range cells {
+		i := i
+		r := coverpack.TraceRecorder(nil)
+		if i == 0 {
+			r = rec
+		}
+		cells[i] = sched.Cell{
+			Key:  fmt.Sprintf("rep%d", i),
+			Cost: int64(in.TotalTuples()),
+			Run: func() error {
+				rep, err := coverpack.ExecuteOpts(alg, in, p, coverpack.ExecOptions{Workers: workers, Recorder: r})
+				out[i] = rep
+				return err
+			},
+		}
+	}
+	if _, err := sched.Run(cells, sched.Options{Workers: reps}); err != nil {
+		return nil, err
+	}
+	for i := 1; i < reps; i++ {
+		if *out[i] != *out[0] {
+			return nil, fmt.Errorf("determinism violation: repetition %d produced %+v, repetition 0 produced %+v", i, *out[i], *out[0])
+		}
+	}
+	fmt.Printf("parallel    %d concurrent repetitions, all reports identical\n", reps)
+	return out[0], nil
 }
 
 func pickQuery(queryStr, catalog string) (*coverpack.Query, error) {

@@ -27,6 +27,8 @@ package coverpack
 import (
 	"fmt"
 	"math/big"
+	"sync"
+	"sync/atomic"
 
 	"coverpack/internal/core"
 	"coverpack/internal/cyclic"
@@ -83,8 +85,61 @@ type Analysis struct {
 	LowerBoundExponent float64
 }
 
+// Analysis memoization: ρ*/τ*/ψ* are LP solves over exact rationals, so
+// re-analyzing the same hypergraph (every Table 1 row, every sweep cell)
+// repeats identical simplex runs. The cache is keyed by the query's name
+// plus its textual form — the hypergraph's identity — and stores a
+// private copy; lookups clone the big.Rat fields so callers can never
+// mutate a cached entry. Counters are diagnostics only.
+var (
+	analyzeCache  sync.Map // string -> *Analysis (private copy)
+	analyzeHits   atomic.Uint64
+	analyzeMisses atomic.Uint64
+)
+
+func (a *Analysis) clone() *Analysis {
+	b := *a
+	b.Rho = new(big.Rat).Set(a.Rho)
+	b.Tau = new(big.Rat).Set(a.Tau)
+	b.Psi = new(big.Rat).Set(a.Psi)
+	return &b
+}
+
+// AnalyzeCacheStats reports the Analyze memoization counters.
+func AnalyzeCacheStats() (hits, misses uint64) {
+	return analyzeHits.Load(), analyzeMisses.Load()
+}
+
+// ResetAnalyzeCache drops every memoized analysis and zeroes the
+// counters (test seam).
+func ResetAnalyzeCache() {
+	analyzeCache.Range(func(k, _ any) bool {
+		analyzeCache.Delete(k)
+		return true
+	})
+	analyzeHits.Store(0)
+	analyzeMisses.Store(0)
+}
+
 // Analyze computes the query's classification and fractional numbers.
+// Results are memoized per hypergraph (see AnalyzeCacheStats); the
+// returned Analysis is always a private copy the caller may mutate.
 func Analyze(q *Query) (*Analysis, error) {
+	key := q.Name() + "|" + q.String()
+	if v, ok := analyzeCache.Load(key); ok {
+		analyzeHits.Add(1)
+		return v.(*Analysis).clone(), nil
+	}
+	a, err := analyze(q)
+	if err != nil {
+		return nil, err
+	}
+	analyzeMisses.Add(1)
+	analyzeCache.Store(key, a.clone())
+	return a, nil
+}
+
+func analyze(q *Query) (*Analysis, error) {
 	nums, err := fractional.Compute(q)
 	if err != nil {
 		return nil, err
@@ -291,6 +346,10 @@ func ExecuteOpts(alg Algorithm, in *Instance, p int, eo ExecOptions) (*Report, e
 		opts = append(opts, mpc.WithPlanCache(false))
 	}
 	c := mpc.NewCluster(p, opts...)
+	// The Report carries only scalars, so every exchange-produced
+	// relation is dead once Stats is read: recycle the cluster's arenas
+	// for the next run (on all paths, including errors).
+	defer c.Release()
 	g := c.Root()
 	rep := &Report{Algorithm: alg}
 	switch alg {
@@ -364,6 +423,7 @@ func TraceRun(alg Algorithm, in *Instance, p int) ([]string, error) {
 		return nil, fmt.Errorf("coverpack: %v does not support tracing", alg)
 	}
 	c := mpc.NewCluster(p)
+	defer c.Release()
 	res, err := core.Run(c.Root(), in, core.Options{Strategy: strat, Trace: true})
 	if err != nil {
 		return nil, err

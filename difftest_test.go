@@ -48,6 +48,7 @@ func oracleWorkerSet() []int {
 type runCfg struct {
 	workers int
 	cache   bool // plan cache AND retained key indexes
+	pool    bool // arena / hash-bucket / send-list recycling
 }
 
 func (c runCfg) String() string {
@@ -55,18 +56,28 @@ func (c runCfg) String() string {
 	if !c.cache {
 		cache = "cache-off"
 	}
-	return fmt.Sprintf("workers=%d/%s", c.workers, cache)
+	pool := "pool-on"
+	if !c.pool {
+		pool = "pool-off"
+	}
+	return fmt.Sprintf("workers=%d/%s/%s", c.workers, cache, pool)
 }
 
 // tracedRun executes one configuration with a collector attached and
 // returns the report plus both trace artifacts. Cache-off disables both
 // the cluster's exchange-plan cache and the relation layer's retained
-// key indexes, restoring the latter global before returning.
+// key indexes; pool-off disables the cross-run memory recycling pools
+// (the pre-pooling allocation path). Both globals are restored to their
+// defaults before returning.
 func tracedRun(t *testing.T, alg coverpack.Algorithm, in *coverpack.Instance, p int, cfg runCfg) (*coverpack.Report, *coverpack.TraceSpan, []coverpack.PhaseRow, error) {
 	t.Helper()
 	if !cfg.cache {
 		relation.SetIndexCaching(false)
 		defer relation.SetIndexCaching(true)
+	}
+	if !cfg.pool {
+		coverpack.SetPooling(false)
+		defer coverpack.SetPooling(true)
 	}
 	col := coverpack.NewTraceCollector()
 	rep, err := coverpack.ExecuteOpts(alg, in, p, coverpack.ExecOptions{
@@ -103,12 +114,18 @@ func assertRunsAgree(t *testing.T, label string,
 }
 
 // oracleConfigs is the comparison matrix: the reference (sequential,
-// caches off — the pre-caching code path) against sequential cache-on
-// plus, per worker count, parallel cache-on and cache-off.
+// caches off, pools off — the pre-caching, pre-pooling code path)
+// against sequential cache-on plus, per worker count, parallel cache-on
+// and cache-off — each of those with memory recycling on and off.
 func oracleConfigs() []runCfg {
-	cfgs := []runCfg{{workers: 1, cache: true}}
-	for _, w := range oracleWorkerSet() {
-		cfgs = append(cfgs, runCfg{workers: w, cache: true}, runCfg{workers: w, cache: false})
+	var cfgs []runCfg
+	for _, pool := range []bool{true, false} {
+		cfgs = append(cfgs, runCfg{workers: 1, cache: true, pool: pool})
+		for _, w := range oracleWorkerSet() {
+			cfgs = append(cfgs,
+				runCfg{workers: w, cache: true, pool: pool},
+				runCfg{workers: w, cache: false, pool: pool})
+		}
 	}
 	return cfgs
 }
@@ -117,7 +134,7 @@ func oracleConfigs() []runCfg {
 // under each configuration of the matrix.
 func runOracle(t *testing.T, in *coverpack.Instance, p int) {
 	for _, alg := range oracleAlgorithms {
-		seqRep, seqRoot, seqPhases, err := tracedRun(t, alg, in, p, runCfg{workers: 1, cache: false})
+		seqRep, seqRoot, seqPhases, err := tracedRun(t, alg, in, p, runCfg{workers: 1, cache: false, pool: false})
 		if err != nil {
 			// The algorithm rejects this query class (e.g. AlgTriangle on a
 			// star); nothing to compare.

@@ -3,6 +3,15 @@
 // DESIGN.md; expected-vs-measured is recorded in EXPERIMENTS.md). Each
 // function returns printable tables so that cmd/experiments, the
 // benchmark suite and the tests share one implementation.
+//
+// Every measured experiment is decomposed into independent sched.Cells
+// — one simulator run (or one lower-bound inversion) each — executed by
+// the run-level sweep scheduler. Cells write into indexed result slots;
+// tables are assembled from the slots only after the scheduler returns,
+// in the same order a sequential pass would produce. Instances are
+// built sequentially before scheduling and shared read-only by the
+// cells, so every table is byte-identical for every Config.RunWorkers
+// and Config.MemBudget setting (the difftest oracle pins this).
 package experiments
 
 import (
@@ -11,10 +20,12 @@ import (
 
 	"coverpack"
 	"coverpack/internal/core"
+	"coverpack/internal/em"
 	"coverpack/internal/fractional"
 	"coverpack/internal/hypergraph"
 	"coverpack/internal/lowerbound"
 	"coverpack/internal/mpc"
+	"coverpack/internal/sched"
 	"coverpack/internal/workload"
 )
 
@@ -29,11 +40,29 @@ type Table struct {
 // runs, the default sizes by cmd/experiments and the benchmarks.
 type Config struct {
 	Small bool
-	// Workers sets the simulator's goroutine pool (0/1 sequential,
-	// n > 1 that many workers, negative GOMAXPROCS). Every table is
-	// identical for every setting; only wall-clock time changes.
+	// Workers sets the simulator's intra-run goroutine pool: how many
+	// goroutines ONE simulated run spreads its chunks over (0/1
+	// sequential, n > 1 that many workers, negative GOMAXPROCS). Every
+	// table is identical for every setting; only wall-clock time
+	// changes.
 	Workers int
+	// RunWorkers sets the run-level sweep scheduler pool: how many
+	// experiment cells (one simulator run each) execute concurrently
+	// (0/1 sequential, n > 1 that many cells, negative GOMAXPROCS).
+	// Independent of Workers — the two multiply. Every table is
+	// byte-identical for every setting.
+	RunWorkers int
+	// MemBudget caps the summed working-set cost — total input tuples;
+	// big AGM instances count more — of concurrently admitted cells.
+	// 0 selects DefaultMemBudget; negative disables the gate.
+	MemBudget int64
 }
+
+// DefaultMemBudget is the admission-gate default: the summed input
+// tuples of concurrently running cells stays below this, so a sweep
+// over big AGM instances cannot multiply its resident footprint by the
+// worker count.
+const DefaultMemBudget = 4 << 20
 
 func (c Config) pick(small, big int) int {
 	if c.Small {
@@ -47,19 +76,31 @@ func (c Config) eo() coverpack.ExecOptions {
 	return coverpack.ExecOptions{Workers: c.Workers}
 }
 
+// schedOpts maps the config onto scheduler options.
+func (c Config) schedOpts() sched.Options {
+	b := c.MemBudget
+	switch {
+	case b == 0:
+		b = DefaultMemBudget
+	case b < 0:
+		b = 0
+	}
+	return sched.Options{Workers: c.RunWorkers, Budget: b}
+}
+
+// runCells executes one experiment's cell list under the config's
+// scheduler settings.
+func runCells(cfg Config, cells []sched.Cell) error {
+	_, err := sched.Run(cells, cfg.schedOpts())
+	return err
+}
+
+// cellCost is the admission-gate weight of a cell running on in.
+func cellCost(in *coverpack.Instance) int64 { return int64(in.TotalTuples()) }
+
 func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
 func itoa(v int) string   { return fmt.Sprintf("%d", v) }
 func load(v int) string   { return fmt.Sprintf("%d", v) }
-
-// scaling runs one algorithm over a p sweep on an instance and returns
-// per-p loads plus the fitted exponent x of L ≈ c·N/p^{1/x}.
-func scaling(cfg Config, alg coverpack.Algorithm, in *coverpack.Instance, ps []int) (map[int]int, float64, error) {
-	profile, x, err := coverpack.LoadScalingOpts(alg, in, ps, cfg.eo())
-	if err != nil {
-		return nil, 0, err
-	}
-	return profile.Points, x, nil
-}
 
 // Table1 reproduces the worst-case complexity table: measured load
 // scalings of the one-round and multi-round algorithms against the
@@ -93,16 +134,50 @@ func Table1(cfg Config) ([]Table, error) {
 		{triQ, coverpack.Matching(triQ, n), coverpack.AlgHyperCube, "one-round (τ* on skew-free)"},
 	}
 
+	// One cell per (row, p): a single simulator run writing its report
+	// into a caller-owned slot.
+	reps := make([][]*coverpack.Report, len(rows))
+	var cells []sched.Cell
+	for ri := range rows {
+		reps[ri] = make([]*coverpack.Report, len(ps))
+		r := rows[ri]
+		for pi, p := range ps {
+			cells = append(cells, sched.Cell{
+				Key:  fmt.Sprintf("table1/%s/%s/p%d", r.q.Name(), r.alg, p),
+				Cost: cellCost(r.in),
+				Run: func() error {
+					rep, err := coverpack.ExecuteOpts(r.alg, r.in, p, cfg.eo())
+					if err != nil {
+						return err
+					}
+					reps[ri][pi] = rep
+					return nil
+				},
+			})
+		}
+	}
+	if err := runCells(cfg, cells); err != nil {
+		return nil, err
+	}
+
 	out := Table{
 		Title:  "Table 1 — measured load scalings vs proved exponents",
 		Header: []string{"query", "algorithm", "regime", "load@p4", "load@p16", "load@p64", "fitted x in N/p^(1/x)", "theory"},
 	}
-	for _, r := range rows {
+	for ri, r := range rows {
 		an, err := coverpack.Analyze(r.q)
 		if err != nil {
 			return nil, err
 		}
-		loads, x, err := scaling(cfg, r.alg, r.in, ps)
+		profile := em.LoadProfile{N: r.in.N(), Points: make(map[int]int, len(ps))}
+		for pi, p := range ps {
+			rep := reps[ri][pi]
+			profile.Points[p] = rep.Stats.MaxLoad
+			if rep.Stats.Rounds > profile.Rounds {
+				profile.Rounds = rep.Stats.Rounds
+			}
+		}
+		x, _, err := em.FitExponent(profile)
 		if err != nil {
 			return nil, err
 		}
@@ -123,7 +198,7 @@ func Table1(cfg Config) ([]Table, error) {
 		}
 		out.Rows = append(out.Rows, []string{
 			r.q.Name(), r.alg.String(), r.cell,
-			load(loads[4]), load(loads[16]), load(loads[64]),
+			load(profile.Points[4]), load(profile.Points[16]), load(profile.Points[64]),
 			f3(x), f3(theory),
 		})
 	}
@@ -148,19 +223,34 @@ func binaryJoinRows(cfg Config) (Table, error) {
 	n := cfg.pick(400, 4096)
 	in := mustAGMInst(q, n)
 	ps := []int{8, 27, 216}
-	profile, _, err := coverpack.LoadScalingOpts(coverpack.AlgTriangle, in, ps, cfg.eo())
-	if err != nil {
+	loads := make([]int, len(ps))
+	cells := make([]sched.Cell, len(ps))
+	for pi, p := range ps {
+		cells[pi] = sched.Cell{
+			Key:  fmt.Sprintf("table1/triangle-agm/p%d", p),
+			Cost: cellCost(in),
+			Run: func() error {
+				rep, err := coverpack.ExecuteOpts(coverpack.AlgTriangle, in, p, cfg.eo())
+				if err != nil {
+					return err
+				}
+				loads[pi] = rep.Stats.MaxLoad
+				return nil
+			},
+		}
+	}
+	if err := runCells(cfg, cells); err != nil {
 		return Table{}, err
 	}
 	t := Table{
 		Title:  "Table 1 — binary-relation multi-round cell: triangle algorithm (AGM worst case)",
 		Header: []string{"p", "measured load", "theory N/p^(2/3)", "measured/theory"},
 	}
-	for _, p := range ps {
+	for pi, p := range ps {
 		theory := float64(n) / math.Pow(float64(p), 2.0/3.0)
 		t.Rows = append(t.Rows, []string{
-			itoa(p), load(profile.Points[p]), f3(theory),
-			f3(float64(profile.Points[p]) / theory),
+			itoa(p), load(loads[pi]), f3(theory),
+			f3(float64(loads[pi]) / theory),
 		})
 	}
 	return t, nil
@@ -177,7 +267,8 @@ func mustAGMInst(q *coverpack.Query, n int) *coverpack.Instance {
 }
 
 // lowerBoundRows is the Table 1 lower-bound cell: the Q_□ counting
-// argument at several p.
+// argument at several p. Each p's MinLoad inversion — a search over
+// J(L) measurements — is one scheduler cell.
 func lowerBoundRows(cfg Config) (Table, error) {
 	q := hypergraph.SquareJoin()
 	a, err := lowerbound.Analyze(q)
@@ -187,12 +278,28 @@ func lowerBoundRows(cfg Config) (Table, error) {
 	n := cfg.pick(1000, 1728)
 	in := workload.ProvableHard(q, a.Witness, n, 9)
 	out := int64(in.Rel(0).Len()) * int64(in.Rel(1).Len())
+	ps := []int{8, 27, 64, 216}
+	results := make([]lowerbound.MinLoadResult, len(ps))
+	cells := make([]sched.Cell, len(ps))
+	for pi, p := range ps {
+		cells[pi] = sched.Cell{
+			Key:  fmt.Sprintf("table1/lowerbound-square/p%d", p),
+			Cost: cellCost(in),
+			Run: func() error {
+				results[pi] = lowerbound.MinLoad(a, in, p, out)
+				return nil
+			},
+		}
+	}
+	if err := runCells(cfg, cells); err != nil {
+		return Table{}, err
+	}
 	t := Table{
 		Title:  "Table 1 — lower-bound cell: Q_□ counting argument (Theorem 6)",
 		Header: []string{"p", "min feasible load (measured)", "packing bound N/p^(1/τ*)", "cover bound N/p^(1/ρ*)"},
 	}
-	for _, p := range []int{8, 27, 64, 216} {
-		r := lowerbound.MinLoad(a, in, p, out)
+	for pi, p := range ps {
+		r := results[pi]
 		t.Rows = append(t.Rows, []string{
 			itoa(p), itoa(r.MinL), f3(r.PackingBound), f3(r.CoverBound),
 		})
@@ -295,21 +402,49 @@ func Figure3() (Table, error) {
 func Figure4(cfg Config) (Table, error) {
 	n := cfg.pick(4, 8)
 	in := workload.Figure4Hard(n)
+	ps := []int{4, 16}
+	type pair struct{ cons, opt *coverpack.Report }
+	res := make([]pair, len(ps))
+	var cells []sched.Cell
+	for pi, p := range ps {
+		cells = append(cells,
+			sched.Cell{
+				Key:  fmt.Sprintf("figure4/conservative/p%d", p),
+				Cost: cellCost(in),
+				Run: func() error {
+					r, err := coverpack.ExecuteOpts(coverpack.AlgAcyclicConservative, in, p, cfg.eo())
+					if err != nil {
+						return err
+					}
+					res[pi].cons = r
+					return nil
+				},
+			},
+			sched.Cell{
+				Key:  fmt.Sprintf("figure4/optimal/p%d", p),
+				Cost: cellCost(in),
+				Run: func() error {
+					r, err := coverpack.ExecuteOpts(coverpack.AlgAcyclicOptimal, in, p, cfg.eo())
+					if err != nil {
+						return err
+					}
+					res[pi].opt = r
+					return nil
+				},
+			},
+		)
+	}
+	if err := runCells(cfg, cells); err != nil {
+		return Table{}, err
+	}
 	t := Table{
 		Title:  "Figure 4 / Example 3.4 — conservative vs path-optimal run on the hard instance",
 		Header: []string{"p", "L conservative (Thm 2)", "L optimal (§4.3)", "load conservative", "load optimal"},
 	}
-	for _, p := range []int{4, 16} {
+	for pi, p := range ps {
 		lc := core.ChooseL(in, p, core.Conservative)
 		lo := core.ChooseL(in, p, core.PathOptimal)
-		rc, err := coverpack.ExecuteOpts(coverpack.AlgAcyclicConservative, in, p, cfg.eo())
-		if err != nil {
-			return Table{}, err
-		}
-		ro, err := coverpack.ExecuteOpts(coverpack.AlgAcyclicOptimal, in, p, cfg.eo())
-		if err != nil {
-			return Table{}, err
-		}
+		rc, ro := res[pi].cons, res[pi].opt
 		if rc.Emitted != ro.Emitted {
 			return Table{}, fmt.Errorf("figure4: emission mismatch %d vs %d", rc.Emitted, ro.Emitted)
 		}
@@ -361,23 +496,50 @@ func Figure6(cfg Config) (Table, error) {
 	if err != nil {
 		return Table{}, err
 	}
+	ps := []int{4, 16, 64}
+	type pair struct{ opt, hc *coverpack.Report }
+	res := make([]pair, len(ps))
+	var cells []sched.Cell
+	for pi, p := range ps {
+		cells = append(cells,
+			sched.Cell{
+				Key:  fmt.Sprintf("figure6/optimal/p%d", p),
+				Cost: cellCost(in),
+				Run: func() error {
+					r, err := coverpack.ExecuteOpts(coverpack.AlgAcyclicOptimal, in, p, cfg.eo())
+					if err != nil {
+						return err
+					}
+					res[pi].opt = r
+					return nil
+				},
+			},
+			sched.Cell{
+				Key:  fmt.Sprintf("figure6/hypercube/p%d", p),
+				Cost: cellCost(in),
+				Run: func() error {
+					r, err := coverpack.ExecuteOpts(coverpack.AlgHyperCube, in, p, cfg.eo())
+					if err != nil {
+						return err
+					}
+					res[pi].hc = r
+					return nil
+				},
+			},
+		)
+	}
+	if err := runCells(cfg, cells); err != nil {
+		return Table{}, err
+	}
 	t := Table{
 		Title:  "Figure 6 — linear join (line-3) on the AGM worst case",
 		Header: []string{"p", "load optimal-run", "theory N/p^(1/2)", "load one-round HC"},
 	}
-	for _, p := range []int{4, 16, 64} {
-		ro, err := coverpack.ExecuteOpts(coverpack.AlgAcyclicOptimal, in, p, cfg.eo())
-		if err != nil {
-			return Table{}, err
-		}
-		rh, err := coverpack.ExecuteOpts(coverpack.AlgHyperCube, in, p, cfg.eo())
-		if err != nil {
-			return Table{}, err
-		}
+	for pi, p := range ps {
 		t.Rows = append(t.Rows, []string{
-			itoa(p), load(ro.Stats.MaxLoad),
+			itoa(p), load(res[pi].opt.Stats.MaxLoad),
 			f3(float64(in.N()) / math.Sqrt(float64(p))),
-			load(rh.Stats.MaxLoad),
+			load(res[pi].hc.Stats.MaxLoad),
 		})
 	}
 	return t, nil
@@ -385,12 +547,8 @@ func Figure6(cfg Config) (Table, error) {
 
 // Figure7 reproduces the edge-packing-provable panel: the spoke family
 // with its measured counting-argument loads vs the packing and cover
-// bounds.
+// bounds. Each spoke size is one cell (the MinLoad inversion dominates).
 func Figure7(cfg Config) (Table, error) {
-	t := Table{
-		Title:  "Figure 7 — edge-packing-provable joins: measured lower bounds",
-		Header: []string{"query", "τ*", "ρ*", "p", "min feasible load", "packing bound", "cover bound"},
-	}
 	type cse struct {
 		k, n int
 	}
@@ -398,7 +556,14 @@ func Figure7(cfg Config) (Table, error) {
 	if !cfg.Small {
 		cases = append(cases, cse{5, 7776})
 	}
-	for _, c := range cases {
+	p := 64
+	type slot struct {
+		a *lowerbound.Analysis
+		r lowerbound.MinLoadResult
+	}
+	slots := make([]slot, len(cases))
+	cells := make([]sched.Cell, len(cases))
+	for ci, c := range cases {
 		q := hypergraph.SpokeJoin(c.k)
 		a, err := lowerbound.Analyze(q)
 		if err != nil {
@@ -406,11 +571,27 @@ func Figure7(cfg Config) (Table, error) {
 		}
 		in := workload.ProvableHard(q, a.Witness, c.n, 11)
 		out := int64(in.Rel(0).Len()) * int64(in.Rel(1).Len())
-		p := 64
-		r := lowerbound.MinLoad(a, in, p, out)
+		slots[ci].a = a
+		cells[ci] = sched.Cell{
+			Key:  fmt.Sprintf("figure7/%s/p%d", q.Name(), p),
+			Cost: cellCost(in),
+			Run: func() error {
+				slots[ci].r = lowerbound.MinLoad(a, in, p, out)
+				return nil
+			},
+		}
+	}
+	if err := runCells(cfg, cells); err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		Title:  "Figure 7 — edge-packing-provable joins: measured lower bounds",
+		Header: []string{"query", "τ*", "ρ*", "p", "min feasible load", "packing bound", "cover bound"},
+	}
+	for _, s := range slots {
 		t.Rows = append(t.Rows, []string{
-			q.Name(), f3(a.Tau), f3(a.Rho), itoa(p),
-			itoa(r.MinL), f3(r.PackingBound), f3(r.CoverBound),
+			s.a.Query.Name(), f3(s.a.Tau), f3(s.a.Rho), itoa(p),
+			itoa(s.r.MinL), f3(s.r.PackingBound), f3(s.r.CoverBound),
 		})
 	}
 	return t, nil
@@ -421,32 +602,64 @@ func Figure7(cfg Config) (Table, error) {
 // rounds reach linear load, and the star-dual join widens the gap to
 // p^{(m−1)/m}.
 func Section13(cfg Config) (Table, error) {
-	t := Table{
-		Title:  "Section 1.3 — one-round vs multi-round gap",
-		Header: []string{"query", "p", "one-round load", "N/p^(1/ψ*)", "multi-round load", "N/p"},
-	}
 	n := cfg.pick(2000, 8000)
-	for _, tc := range []struct {
+	tcs := []struct {
 		q  *coverpack.Query
 		in *coverpack.Instance
 	}{
 		{hypergraph.SemiJoinExample(), coverpack.HeavyHub(hypergraph.SemiJoinExample(), n)},
 		{hypergraph.StarDualJoin(3), workload.StarDualHard(3, n, 3)},
-	} {
+	}
+	ps := []int{16, 64}
+	type pair struct{ one, multi *coverpack.Report }
+	res := make([][]pair, len(tcs))
+	var cells []sched.Cell
+	for ti, tc := range tcs {
+		res[ti] = make([]pair, len(ps))
+		for pi, p := range ps {
+			cells = append(cells,
+				sched.Cell{
+					Key:  fmt.Sprintf("section13/%s/one-round/p%d", tc.q.Name(), p),
+					Cost: cellCost(tc.in),
+					Run: func() error {
+						r, err := coverpack.ExecuteOpts(coverpack.AlgSkewAware, tc.in, p, cfg.eo())
+						if err != nil {
+							return err
+						}
+						res[ti][pi].one = r
+						return nil
+					},
+				},
+				sched.Cell{
+					Key:  fmt.Sprintf("section13/%s/multi-round/p%d", tc.q.Name(), p),
+					Cost: cellCost(tc.in),
+					Run: func() error {
+						r, err := coverpack.ExecuteOpts(coverpack.AlgAcyclicOptimal, tc.in, p, cfg.eo())
+						if err != nil {
+							return err
+						}
+						res[ti][pi].multi = r
+						return nil
+					},
+				},
+			)
+		}
+	}
+	if err := runCells(cfg, cells); err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		Title:  "Section 1.3 — one-round vs multi-round gap",
+		Header: []string{"query", "p", "one-round load", "N/p^(1/ψ*)", "multi-round load", "N/p"},
+	}
+	for ti, tc := range tcs {
 		an, err := coverpack.Analyze(tc.q)
 		if err != nil {
 			return Table{}, err
 		}
 		psi, _ := an.Psi.Float64()
-		for _, p := range []int{16, 64} {
-			r1, err := coverpack.ExecuteOpts(coverpack.AlgSkewAware, tc.in, p, cfg.eo())
-			if err != nil {
-				return Table{}, err
-			}
-			rm, err := coverpack.ExecuteOpts(coverpack.AlgAcyclicOptimal, tc.in, p, cfg.eo())
-			if err != nil {
-				return Table{}, err
-			}
+		for pi, p := range ps {
+			r1, rm := res[ti][pi].one, res[ti][pi].multi
 			if r1.Emitted != rm.Emitted {
 				return Table{}, fmt.Errorf("section13: emission mismatch")
 			}
@@ -470,7 +683,34 @@ func EMCorollary(cfg Config) (Table, error) {
 	if err != nil {
 		return Table{}, err
 	}
-	profile, x, err := coverpack.LoadScalingOpts(coverpack.AlgAcyclicOptimal, in, []int{4, 16, 64}, cfg.eo())
+	ps := []int{4, 16, 64}
+	reps := make([]*coverpack.Report, len(ps))
+	cells := make([]sched.Cell, len(ps))
+	for pi, p := range ps {
+		cells[pi] = sched.Cell{
+			Key:  fmt.Sprintf("em/line3-agm/p%d", p),
+			Cost: cellCost(in),
+			Run: func() error {
+				rep, err := coverpack.ExecuteOpts(coverpack.AlgAcyclicOptimal, in, p, cfg.eo())
+				if err != nil {
+					return err
+				}
+				reps[pi] = rep
+				return nil
+			},
+		}
+	}
+	if err := runCells(cfg, cells); err != nil {
+		return Table{}, err
+	}
+	profile := em.LoadProfile{N: in.N(), Points: make(map[int]int, len(ps))}
+	for pi, p := range ps {
+		profile.Points[p] = reps[pi].Stats.MaxLoad
+		if reps[pi].Stats.Rounds > profile.Rounds {
+			profile.Rounds = reps[pi].Stats.Rounds
+		}
+	}
+	x, _, err := em.FitExponent(profile)
 	if err != nil {
 		return Table{}, err
 	}
@@ -498,34 +738,52 @@ func AblationSkew(cfg Config) (Table, error) {
 	q := hypergraph.StarJoin(2)
 	n := cfg.pick(800, 3000)
 	p := 16
+	ss := []float64{0.0, 0.8, 1.2}
+	algs := []coverpack.Algorithm{
+		coverpack.AlgHyperCube, coverpack.AlgSkewAware, coverpack.AlgAcyclicOptimal,
+	}
+	ins := make([]*coverpack.Instance, len(ss))
+	for si, s := range ss {
+		if s == 0 {
+			ins[si] = coverpack.Uniform(q, n, int64(4*n), 21)
+		} else {
+			ins[si] = coverpack.Zipf(q, n, int64(4*n), s, 21)
+		}
+	}
+	loads := make([][3]int, len(ss))
+	emitted := make([][3]int64, len(ss))
+	var cells []sched.Cell
+	for si := range ss {
+		in := ins[si]
+		for ai, alg := range algs {
+			cells = append(cells, sched.Cell{
+				Key:  fmt.Sprintf("ablation-skew/s%.1f/%s", ss[si], alg),
+				Cost: cellCost(in),
+				Run: func() error {
+					rep, err := coverpack.ExecuteOpts(alg, in, p, cfg.eo())
+					if err != nil {
+						return err
+					}
+					loads[si][ai] = rep.Stats.MaxLoad
+					emitted[si][ai] = rep.Emitted
+					return nil
+				},
+			})
+		}
+	}
+	if err := runCells(cfg, cells); err != nil {
+		return Table{}, err
+	}
 	t := Table{
 		Title:  "Ablation — skew sensitivity (star-2, p=16)",
 		Header: []string{"zipf s", "hypercube load", "skew-aware load", "acyclic-optimal load"},
 	}
-	for _, s := range []float64{0.0, 0.8, 1.2} {
-		var in *coverpack.Instance
-		if s == 0 {
-			in = coverpack.Uniform(q, n, int64(4*n), 21)
-		} else {
-			in = coverpack.Zipf(q, n, int64(4*n), s, 21)
-		}
-		var loads [3]int
-		var emitted [3]int64
-		for i, alg := range []coverpack.Algorithm{
-			coverpack.AlgHyperCube, coverpack.AlgSkewAware, coverpack.AlgAcyclicOptimal,
-		} {
-			rep, err := coverpack.ExecuteOpts(alg, in, p, cfg.eo())
-			if err != nil {
-				return Table{}, err
-			}
-			loads[i] = rep.Stats.MaxLoad
-			emitted[i] = rep.Emitted
-		}
-		if emitted[0] != emitted[1] || emitted[1] != emitted[2] {
-			return Table{}, fmt.Errorf("ablation: emission mismatch %v", emitted)
+	for si, s := range ss {
+		if emitted[si][0] != emitted[si][1] || emitted[si][1] != emitted[si][2] {
+			return Table{}, fmt.Errorf("ablation: emission mismatch %v", emitted[si])
 		}
 		t.Rows = append(t.Rows, []string{
-			f3(s), load(loads[0]), load(loads[1]), load(loads[2]),
+			f3(s), load(loads[si][0]), load(loads[si][1]), load(loads[si][2]),
 		})
 	}
 	return t, nil
@@ -543,28 +801,47 @@ func AblationThreshold(cfg Config) (Table, error) {
 	}
 	p := 16
 	base := core.ChooseL(in, p, core.PathOptimal)
-	t := Table{
-		Title:  "Ablation — threshold L (line-3 worst case, p=16)",
-		Header: []string{"L/L*", "L", "measured load", "virtual servers used"},
-	}
-	for _, mul := range []struct {
+	muls := []struct {
 		label string
 		num   int
 		den   int
-	}{{"1/2", 1, 2}, {"1", 1, 1}, {"2", 2, 1}, {"4", 4, 1}} {
+	}{{"1/2", 1, 2}, {"1", 1, 1}, {"2", 2, 1}, {"4", 4, 1}}
+	type slot struct {
+		l  int
+		st mpc.Stats
+	}
+	slots := make([]slot, len(muls))
+	cells := make([]sched.Cell, len(muls))
+	for mi, mul := range muls {
 		l := base * mul.num / mul.den
 		if l < 1 {
 			l = 1
 		}
-		c := mpcCluster(cfg, p)
-		res, err := core.Run(c.Root(), in, core.Options{Strategy: core.PathOptimal, L: l})
-		if err != nil {
-			return Table{}, err
+		slots[mi].l = l
+		cells[mi] = sched.Cell{
+			Key:  fmt.Sprintf("ablation-threshold/L%s", mul.label),
+			Cost: cellCost(in),
+			Run: func() error {
+				c := mpcCluster(cfg, p)
+				defer c.Release()
+				if _, err := core.Run(c.Root(), in, core.Options{Strategy: core.PathOptimal, L: l}); err != nil {
+					return err
+				}
+				slots[mi].st = c.Stats()
+				return nil
+			},
 		}
-		_ = res
-		st := c.Stats()
+	}
+	if err := runCells(cfg, cells); err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		Title:  "Ablation — threshold L (line-3 worst case, p=16)",
+		Header: []string{"L/L*", "L", "measured load", "virtual servers used"},
+	}
+	for mi, mul := range muls {
 		t.Rows = append(t.Rows, []string{
-			mul.label, itoa(l), load(st.MaxLoad), itoa(st.ServersUsed),
+			mul.label, itoa(slots[mi].l), load(slots[mi].st.MaxLoad), itoa(slots[mi].st.ServersUsed),
 		})
 	}
 	return t, nil

@@ -93,10 +93,10 @@ func New(arity, hint int) *Table {
 	for size*loadNum < hint*loadDen {
 		size <<= 1
 	}
-	t := &Table{arity: arity, slots: make([]int32, size), mask: uint64(size - 1)}
+	t := &Table{arity: arity, slots: getSlots(size), mask: uint64(size - 1)}
 	if hint > 0 {
-		t.hashes = make([]uint64, 0, hint)
-		t.keys = make([]int64, 0, hint*arity)
+		t.hashes = getHashes(hint)
+		t.keys = getKeys(hint * arity)
 	}
 	return t
 }
@@ -187,7 +187,9 @@ func (t *Table) Insert(row []int64, pos []int) (idx int, found bool) {
 // cached hashes (keys and entry indices are untouched).
 func (t *Table) grow() {
 	size := len(t.slots) * 2
-	t.slots = make([]int32, size)
+	old := t.slots
+	t.slots = getSlots(size)
+	putSlots(old)
 	t.mask = uint64(size - 1)
 	for e, h := range t.hashes {
 		s := h & t.mask

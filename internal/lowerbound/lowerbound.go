@@ -109,12 +109,24 @@ func MeasureJ(a *Analysis, in *relation.Instance, L int) JResult {
 		dom[v] = d
 	}
 
-	// Per-attribute frequency-ranked values inside probabilistic edges.
-	ranked := make(map[int][]relation.Value)
+	// Per-edge attribute lists, hoisted once: the strategy search below
+	// evaluates thousands of candidate budget vectors and every
+	// evaluation walks every edge's attributes — materializing the
+	// VarSet per candidate dominated the allocation profile.
+	edgeAttrs := make([][]int, q.NumEdges())
+	for e := 0; e < q.NumEdges(); e++ {
+		edgeAttrs[e] = q.EdgeVars(e).Attrs()
+	}
+
+	// Per-attribute frequency rank of each value inside probabilistic
+	// edges: a value is inside the greedy box of budget z_v exactly when
+	// its rank is < z_v, so candidate evaluation needs no per-candidate
+	// box sets.
+	rank := make(map[int]map[relation.Value]int64)
 	owner := make(map[int]int) // attr -> probabilistic edge owning it
 	for _, e := range a.Witness.ProbEdges.Edges() {
 		r := in.Rel(e)
-		for _, v := range q.EdgeVars(e).Attrs() {
+		for _, v := range edgeAttrs[e] {
 			owner[v] = e
 			counts := make(map[relation.Value]int64)
 			vp := r.Schema().Pos(v)
@@ -131,7 +143,11 @@ func MeasureJ(a *Analysis, in *relation.Instance, L int) JResult {
 				}
 				return vals[i] < vals[j]
 			})
-			ranked[v] = vals
+			rk := make(map[relation.Value]int64, len(vals))
+			for i, val := range vals {
+				rk[val] = int64(i)
+			}
+			rank[v] = rk
 		}
 	}
 
@@ -145,21 +161,14 @@ func MeasureJ(a *Analysis, in *relation.Instance, L int) JResult {
 		}
 		for _, e := range a.Witness.ProbEdges.Edges() {
 			r := in.Rel(e)
-			boxes := make(map[int]map[relation.Value]bool)
-			for _, v := range q.EdgeVars(e).Attrs() {
-				set := make(map[relation.Value]bool, z[v])
-				vals := ranked[v]
-				for i := int64(0); i < z[v] && int(i) < len(vals); i++ {
-					set[vals[i]] = true
-				}
-				boxes[v] = set
-			}
 			var cnt int64
 			for i := 0; i < r.Len(); i++ {
 				t := r.Row(i)
 				ok := true
-				for _, v := range q.EdgeVars(e).Attrs() {
-					if !boxes[v][r.Get(t, v)] {
+				for _, v := range edgeAttrs[e] {
+					// Inside the greedy box iff the value's frequency rank
+					// fits the budget.
+					if rank[v][r.Get(t, v)] >= z[v] {
 						ok = false
 						break
 					}
@@ -179,7 +188,7 @@ func MeasureJ(a *Analysis, in *relation.Instance, L int) JResult {
 				continue
 			}
 			prod := int64(1)
-			for _, v := range q.EdgeVars(e).Attrs() {
+			for _, v := range edgeAttrs[e] {
 				prod = satMul(prod, z[v])
 				if prod > int64(L) {
 					return false
@@ -224,10 +233,13 @@ func MeasureJ(a *Analysis, in *relation.Instance, L int) JResult {
 	strategies := 1
 
 	// Strategy (b): hill climbing — double one budget, halve another.
+	// cur and cand ping-pong as scratch: both always hold exactly the
+	// attribute key set, so the full copy below overwrites every entry.
 	cur := make(map[int]int64, len(z))
 	for k, v := range z {
 		cur[k] = v
 	}
+	cand := make(map[int]int64, len(cur))
 	for iter := 0; iter < 120; iter++ {
 		improved := false
 		for _, up := range attrs {
@@ -235,7 +247,6 @@ func MeasureJ(a *Analysis, in *relation.Instance, L int) JResult {
 				if up == down {
 					continue
 				}
-				cand := make(map[int]int64, len(cur))
 				for k, v := range cur {
 					cand[k] = v
 				}
@@ -245,7 +256,7 @@ func MeasureJ(a *Analysis, in *relation.Instance, L int) JResult {
 				strategies++
 				if c := evalCount(cand); c > best {
 					best = c
-					cur = cand
+					cur, cand = cand, cur
 					improved = true
 				}
 			}

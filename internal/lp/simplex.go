@@ -21,6 +21,26 @@ type tableau struct {
 	initCol    []int // per constraint row: the column that started as unit vector e_i
 	artificial []int // columns that are artificial variables
 	isArt      []bool
+
+	// Scratch big.Rats reused across the pivot, reduced-cost and
+	// ratio-test loops. Without them every pivot allocates one Rat per
+	// matrix element, which dominates the solver's cost on the tiny
+	// hypergraph LPs. Each scratch value is fully written before any
+	// tableau entry is read back, so reuse never aliases live data.
+	sPe, sF, sTerm, sRC *big.Rat
+	sRatioA, sRatioB    *big.Rat
+	sCmpA, sCmpB        *big.Int
+}
+
+// ratCmp compares two rationals by cross-multiplying into scratch
+// big.Ints: big.Rat.Cmp allocates both cross-products on every call,
+// and the ratio test compares twice per row. Denominators of
+// normalized big.Rats are always positive, so the cross-product
+// comparison needs no sign fix-up.
+func (t *tableau) ratCmp(x, y *big.Rat) int {
+	t.sCmpA.Mul(x.Num(), y.Denom())
+	t.sCmpB.Mul(y.Num(), x.Denom())
+	return t.sCmpA.Cmp(t.sCmpB)
 }
 
 // Solve solves the problem exactly and returns the solution. It never
@@ -98,14 +118,14 @@ func Solve(p *Problem) (*Solution, error) {
 	// started as the unit vector for row i.
 	sol.Dual = make([]*big.Rat, m)
 	for i := 0; i < m; i++ {
-		y := new(big.Rat)
+		y := new(big.Rat) // freshly owned: retained in sol.Dual
 		col := t.initCol[i]
 		for k := 0; k < m; k++ {
 			if costs[t.basis[k]].Sign() == 0 {
 				continue
 			}
-			term := new(big.Rat).Mul(costs[t.basis[k]], t.rows[k][col])
-			y.Add(y, term)
+			t.sTerm.Mul(costs[t.basis[k]], t.rows[k][col])
+			y.Add(y, t.sTerm)
 		}
 		// The surplus column of a GE row is the negated unit vector, so
 		// when it (rather than an artificial) anchors the row the sign
@@ -157,6 +177,14 @@ func newTableau(p *Problem) *tableau {
 		basis:   make([]int, m),
 		initCol: make([]int, m),
 		isArt:   make([]bool, ncols),
+		sPe:     new(big.Rat),
+		sF:      new(big.Rat),
+		sTerm:   new(big.Rat),
+		sRC:     new(big.Rat),
+		sRatioA: new(big.Rat),
+		sRatioB: new(big.Rat),
+		sCmpA:   new(big.Int),
+		sCmpB:   new(big.Int),
 	}
 
 	slackAt := n
@@ -229,35 +257,39 @@ func effectiveSense(s Sense, negated bool) Sense {
 func (t *tableau) run(costs []*big.Rat, banArtificials bool) Status {
 	for {
 		enter := -1
-		var rc *big.Rat
 		for j := 0; j < t.ncols; j++ {
 			if banArtificials && t.isArt[j] {
 				continue
 			}
-			r := t.reducedCost(costs, j)
-			if r.Sign() > 0 {
+			if t.reducedCost(costs, j).Sign() > 0 {
 				enter = j
-				rc = r
 				break // Bland: first improving column.
 			}
 		}
 		if enter == -1 {
 			return Optimal
 		}
-		_ = rc
 
+		// Ratio test over two scratch Rats: ratio holds the candidate,
+		// best the current winner; on acceptance they swap roles so the
+		// winner's storage is never overwritten by the next candidate.
 		leave := -1
-		var best *big.Rat
+		ratio, best := t.sRatioA, t.sRatioB
 		for i := range t.rows {
 			a := t.rows[i][enter]
 			if a.Sign() <= 0 {
 				continue
 			}
-			ratio := new(big.Rat).Quo(t.rows[i][t.ncols], a)
+			ratio.Quo(t.rows[i][t.ncols], a)
+			var c int
+			if leave != -1 {
+				c = t.ratCmp(ratio, best)
+			}
 			switch {
-			case leave == -1 || ratio.Cmp(best) < 0:
-				leave, best = i, ratio
-			case ratio.Cmp(best) == 0 && t.basis[i] < t.basis[leave]:
+			case leave == -1 || c < 0:
+				leave = i
+				ratio, best = best, ratio
+			case c == 0 && t.basis[i] < t.basis[leave]:
 				leave = i // Bland: lowest basic variable index on ties.
 			}
 		}
@@ -268,30 +300,31 @@ func (t *tableau) run(costs []*big.Rat, banArtificials bool) Status {
 	}
 }
 
-// reducedCost computes c_j - cB·B^{-1}A_j for column j.
+// reducedCost computes c_j - cB·B^{-1}A_j for column j. The returned
+// value is tableau scratch, valid only until the next tableau call.
 func (t *tableau) reducedCost(costs []*big.Rat, j int) *big.Rat {
-	r := new(big.Rat).Set(costs[j])
+	r := t.sRC.Set(costs[j])
 	for i := range t.rows {
 		cb := costs[t.basis[i]]
 		if cb.Sign() == 0 {
 			continue
 		}
-		term := new(big.Rat).Mul(cb, t.rows[i][j])
-		r.Sub(r, term)
+		t.sTerm.Mul(cb, t.rows[i][j])
+		r.Sub(r, t.sTerm)
 	}
 	return r
 }
 
 // objectiveValue computes cB·xB for the current basis.
 func (t *tableau) objectiveValue(costs []*big.Rat) *big.Rat {
-	v := new(big.Rat)
+	v := new(big.Rat) // freshly owned: Solve retains it as the optimum
 	for i := range t.rows {
 		cb := costs[t.basis[i]]
 		if cb.Sign() == 0 {
 			continue
 		}
-		term := new(big.Rat).Mul(cb, t.rows[i][t.ncols])
-		v.Add(v, term)
+		t.sTerm.Mul(cb, t.rows[i][t.ncols])
+		v.Add(v, t.sTerm)
 	}
 	return v
 }
@@ -299,7 +332,7 @@ func (t *tableau) objectiveValue(costs []*big.Rat) *big.Rat {
 // pivot makes column enter basic in row leave.
 func (t *tableau) pivot(leave, enter int) {
 	pr := t.rows[leave]
-	pe := new(big.Rat).Set(pr[enter])
+	pe := t.sPe.Set(pr[enter])
 	for j := range pr {
 		pr[j].Quo(pr[j], pe)
 	}
@@ -307,10 +340,13 @@ func (t *tableau) pivot(leave, enter int) {
 		if i == leave || row[enter].Sign() == 0 {
 			continue
 		}
-		f := new(big.Rat).Set(row[enter])
+		// f copies row[enter] before the j loop zeroes it; sTerm is
+		// fully written by Mul before Sub reads it, so neither scratch
+		// aliases a live tableau entry.
+		f := t.sF.Set(row[enter])
 		for j := range row {
-			term := new(big.Rat).Mul(f, pr[j])
-			row[j].Sub(row[j], term)
+			t.sTerm.Mul(f, pr[j])
+			row[j].Sub(row[j], t.sTerm)
 		}
 	}
 	t.basis[leave] = enter

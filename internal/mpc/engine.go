@@ -243,10 +243,16 @@ func foldRecv(parts [][]int, n int) []int {
 	return recv
 }
 
-// buildFrags assembles one fragment per builder, in parallel.
+// buildFrags assembles one fragment per builder, in parallel. The built
+// arenas come from the cross-run pool (see Builder.Build) and are
+// exclusively owned by the fragments, so they are tracked on the
+// cluster for end-of-run recycling.
 func (c *Cluster) buildFrags(builders []*relation.Builder) []*relation.Relation {
 	frags := make([]*relation.Relation, len(builders))
 	c.fork(len(builders), func(i int) { frags[i] = builders[i].Build() })
+	for _, f := range frags {
+		c.trackArena(f.Data())
+	}
 	return frags
 }
 
@@ -270,7 +276,7 @@ func (g *Group) parHashPartition(d *DistRelation, pos []int, record bool) (*Dist
 	}
 	charge := g.cluster.chargeSelfSends
 	g.cluster.fork(m, func(ci int) {
-		recv := make([]int, k)
+		recv := getSendList(k)
 		var dest [][]uint64
 		if record {
 			dest = make([][]uint64, k)
@@ -299,6 +305,7 @@ func (g *Group) parHashPartition(d *DistRelation, pos []int, record bool) (*Dist
 	})
 	out := &DistRelation{Schema: d.Schema, Frags: g.cluster.buildFrags(builders)}
 	recv := foldRecv(recvs, k)
+	putSendLists(recvs)
 	g.chargeRound(trace.OpHashPartition, recv)
 	var plan *exchangePlan
 	if record {
@@ -319,8 +326,9 @@ func (g *Group) parHashPartition(d *DistRelation, pos []int, record bool) (*Dist
 	return out, plan
 }
 
-// parRoute is Route's fan-out path. route must be pure (see Route).
-func (g *Group) parRoute(d *DistRelation, route func(src int, t relation.Tuple) []int) *DistRelation {
+// parRoute is RouteBuf's fan-out path. route must be pure (see Route);
+// each chunk goroutine owns its destination buffer.
+func (g *Group) parRoute(d *DistRelation, route func(src int, t relation.Tuple, buf []int) []int) *DistRelation {
 	k := g.size
 	chunks := flatChunks(d, g.cluster.workers)
 	m := len(chunks)
@@ -330,9 +338,11 @@ func (g *Group) parRoute(d *DistRelation, route func(src int, t relation.Tuple) 
 	}
 	recvs := make([][]int, m)
 	g.cluster.fork(m, func(ci int) {
-		recv := make([]int, k)
+		recv := getSendList(k)
+		var buf []int
 		forEachTuple(d, chunks[ci], func(_ *relation.Relation, src int, t relation.Tuple, _ int) {
-			for _, dest := range route(src, t) {
+			buf = route(src, t, buf)
+			for _, dest := range buf {
 				if dest < 0 || dest >= k {
 					panic(fmt.Sprintf("mpc: route destination %d outside group of size %d", dest, k))
 				}
@@ -343,7 +353,9 @@ func (g *Group) parRoute(d *DistRelation, route func(src int, t relation.Tuple) 
 		recvs[ci] = recv
 	})
 	out := &DistRelation{Schema: d.Schema, Frags: g.cluster.buildFrags(builders)}
-	g.chargeRound(trace.OpRoute, foldRecv(recvs, k))
+	recv := foldRecv(recvs, k)
+	putSendLists(recvs)
+	g.chargeRound(trace.OpRoute, recv)
 	return out
 }
 
@@ -359,7 +371,7 @@ func (g *Group) parSendTo(d *DistRelation, k int) *DistRelation {
 	recvs := make([][]int, m)
 	rlen := maxInt(k, g.size)
 	g.cluster.fork(m, func(ci int) {
-		recv := make([]int, rlen)
+		recv := getSendList(rlen)
 		forEachTuple(d, chunks[ci], func(_ *relation.Relation, _ int, t relation.Tuple, flat int) {
 			dest := flat % k
 			builders[dest].Shard(ci).Add(t)
@@ -368,7 +380,9 @@ func (g *Group) parSendTo(d *DistRelation, k int) *DistRelation {
 		recvs[ci] = recv
 	})
 	out := &DistRelation{Schema: d.Schema, Frags: g.cluster.buildFrags(builders)}
-	g.chargeRound(trace.OpSendTo, foldRecv(recvs, rlen))
+	recv := foldRecv(recvs, rlen)
+	putSendLists(recvs)
+	g.chargeRound(trace.OpSendTo, recv)
 	return out
 }
 
@@ -389,7 +403,7 @@ func (g *Group) parDistribute(d *DistRelation, sizes []int, offset []int, total 
 	recvs := make([][]int, m)
 	rlen := maxInt(total, g.size)
 	g.cluster.fork(m, func(ci int) {
-		recv := make([]int, rlen)
+		recv := getSendList(rlen)
 		forEachTuple(d, chunks[ci], func(f *relation.Relation, _ int, t relation.Tuple, _ int) {
 			for _, dest := range route(f, t) {
 				if dest.Branch < 0 || dest.Branch >= len(sizes) ||
@@ -403,7 +417,9 @@ func (g *Group) parDistribute(d *DistRelation, sizes []int, offset []int, total 
 		recvs[ci] = recv
 	})
 	out := g.assembleBranches(d.Schema, sizes, builders)
-	g.chargeRound(trace.OpDistribute, foldRecv(recvs, rlen))
+	recv := foldRecv(recvs, rlen)
+	putSendLists(recvs)
+	g.chargeRound(trace.OpDistribute, recv)
 	return out
 }
 
@@ -422,7 +438,7 @@ func (g *Group) parDistributeSpread(d *DistRelation, sizes []int, offset []int, 
 
 	counts := make([][]int, m)
 	g.cluster.fork(m, func(ci int) {
-		cnt := make([]int, nb)
+		cnt := getSendList(nb)
 		forEachTuple(d, chunks[ci], func(f *relation.Relation, _ int, t relation.Tuple, _ int) {
 			for _, s := range pick(f, t) {
 				if s.Branch < 0 || s.Branch >= nb {
@@ -443,6 +459,7 @@ func (g *Group) parDistributeSpread(d *DistRelation, sizes []int, offset []int, 
 			run[b] += c
 		}
 	}
+	putSendLists(counts)
 
 	builders := make([][]*relation.Builder, nb)
 	for b, k := range sizes {
@@ -455,7 +472,7 @@ func (g *Group) parDistributeSpread(d *DistRelation, sizes []int, offset []int, 
 	rlen := maxInt(total, g.size)
 	g.cluster.fork(m, func(ci int) {
 		rr := append([]int(nil), starts[ci]...)
-		recv := make([]int, rlen)
+		recv := getSendList(rlen)
 		forEachTuple(d, chunks[ci], func(f *relation.Relation, _ int, t relation.Tuple, _ int) {
 			for _, s := range pick(f, t) {
 				if s.Broadcast {
@@ -474,7 +491,9 @@ func (g *Group) parDistributeSpread(d *DistRelation, sizes []int, offset []int, 
 		recvs[ci] = recv
 	})
 	out := g.assembleBranches(d.Schema, sizes, builders)
-	g.chargeRound(trace.OpDistribute, foldRecv(recvs, rlen))
+	recv := foldRecv(recvs, rlen)
+	putSendLists(recvs)
+	g.chargeRound(trace.OpDistribute, recv)
 	return out
 }
 
@@ -498,6 +517,9 @@ func (g *Group) assembleBranches(schema relation.Schema, sizes []int, builders [
 		t := targets[i]
 		t.frags[t.i] = t.bld.Build()
 	})
+	for _, t := range targets {
+		g.cluster.trackArena(t.frags[t.i].Data())
+	}
 	return out
 }
 
@@ -517,9 +539,12 @@ func (g *Group) collect(d *DistRelation) *relation.Relation {
 		offs[i] = off
 		off += f.Len() * arity
 	}
-	data := make([]relation.Value, total*arity)
+	// Every position is overwritten (the offsets tile the arena), so a
+	// recycled arena is safe despite its stale contents.
+	data := relation.GetArena(total * arity)[:total*arity]
 	g.cluster.fork(len(d.Frags), func(i int) {
 		copy(data[offs[i]:], d.Frags[i].Data())
 	})
+	g.cluster.trackArena(data)
 	return relation.FromData(d.Schema, data, total)
 }

@@ -66,6 +66,7 @@ import (
 	"hash/fnv"
 	"slices"
 	"strconv"
+	"sync"
 
 	"coverpack/internal/hashtab"
 	"coverpack/internal/relation"
@@ -124,6 +125,14 @@ type Cluster struct {
 	// plans is the exchange-plan cache (see plancache.go); nil when
 	// disabled via WithPlanCache(false).
 	plans *planCache
+
+	// arenas tracks every pooled arena blob acquired for this run's
+	// exchange outputs (slab blobs, builder concatenations, gather
+	// buffers). Release returns them all to the cross-run pool once the
+	// run's scalar results have been extracted. Mutex-guarded because
+	// the engine's fork paths acquire arenas concurrently.
+	arenaMu sync.Mutex
+	arenas  [][]relation.Value
 }
 
 // Option configures a Cluster at construction.
@@ -195,6 +204,35 @@ func (c *Cluster) SetLoadObserver(fn func(maxLoad int)) { c.onRound = fn }
 
 // Root returns the root group (size = Budget).
 func (c *Cluster) Root() *Group { return c.root }
+
+// trackArena registers a pooled arena blob acquired during this run so
+// Release can recycle it. nil blobs (pooling off, zero-size hints) are
+// ignored.
+func (c *Cluster) trackArena(blob []relation.Value) {
+	if blob == nil {
+		return
+	}
+	c.arenaMu.Lock()
+	c.arenas = append(c.arenas, blob)
+	c.arenaMu.Unlock()
+}
+
+// Release returns every pooled arena acquired during the computation to
+// the cross-run pool and drops the plan cache. Call it exactly once,
+// after all scalar results (Stats, plan-cache counters, emitted counts)
+// have been read: every relation produced by this cluster's exchanges —
+// including fragments memoized in the plan cache — is invalid
+// afterwards. Release is idempotent; a second call is a no-op.
+func (c *Cluster) Release() {
+	c.arenaMu.Lock()
+	arenas := c.arenas
+	c.arenas = nil
+	c.arenaMu.Unlock()
+	for _, a := range arenas {
+		relation.PutArena(a)
+	}
+	c.plans = nil
+}
 
 // Stats returns the accumulated cost of the whole computation so far.
 func (c *Cluster) Stats() Stats {
@@ -348,13 +386,17 @@ func NewDist(schema relation.Schema, size int) *DistRelation {
 
 // newDistSized is NewDist with a total-tuple hint: each fragment gets
 // arena capacity for its even share of total up front, so a roughly
-// balanced exchange fills destinations without per-Add growth.
-func newDistSized(schema relation.Schema, size, total int) *DistRelation {
+// balanced exchange fills destinations without per-Add growth. The slab
+// blob comes from the cross-run pool and is tracked on the cluster for
+// end-of-run recycling.
+func (c *Cluster) newDistSized(schema relation.Schema, size, total int) *DistRelation {
 	per := 0
 	if size > 0 {
 		per = total/size + 1
 	}
-	return &DistRelation{Schema: schema, Frags: relation.NewSlab(schema, size, per)}
+	frags, blob := relation.NewSlabArena(schema, size, per)
+	c.trackArena(blob)
+	return &DistRelation{Schema: schema, Frags: frags}
 }
 
 // Len returns the total tuple count across fragments.
@@ -408,7 +450,7 @@ func (g *Group) Scatter(r *relation.Relation) *DistRelation {
 		})
 		return d
 	}
-	d := newDistSized(r.Schema(), g.size, n)
+	d := g.cluster.newDistSized(r.Schema(), g.size, n)
 	for i := 0; i < n; i++ {
 		d.Frags[i%g.size].Add(r.Row(i))
 	}
@@ -480,7 +522,7 @@ func (g *Group) HashPartition(d *DistRelation, attrs []int) *DistRelation {
 // it also captures the per-destination packed source indices for the
 // plan cache (charging is unchanged either way).
 func (g *Group) seqHashPartition(d *DistRelation, pos []int, record bool) (*DistRelation, *exchangePlan) {
-	out := newDistSized(d.Schema, g.size, d.Len())
+	out := g.cluster.newDistSized(d.Schema, g.size, d.Len())
 	recv := make([]int, g.size)
 	charge := g.cluster.chargeSelfSends
 	var dest [][]uint64
@@ -547,15 +589,31 @@ func (g *Group) Gather(d *DistRelation) *relation.Relation {
 // calls, no shared mutable state — so the parallel engine can invoke
 // it from worker goroutines.
 func (g *Group) Route(d *DistRelation, route func(src int, t relation.Tuple) []int) *DistRelation {
+	return g.RouteBuf(d, func(src int, t relation.Tuple, _ []int) []int {
+		return route(src, t)
+	})
+}
+
+// RouteBuf is Route with an engine-owned destination buffer: route
+// receives a scratch slice (possibly nil or stale) and returns the
+// tuple's destinations, reusing the scratch's backing array when it is
+// big enough. The engine hands each returned slice back on the next
+// call from the same goroutine, so routing functions that fan a tuple
+// out to many servers avoid a per-tuple allocation. The purity
+// contract of Route still applies; the buffer is never shared between
+// goroutines.
+func (g *Group) RouteBuf(d *DistRelation, route func(src int, t relation.Tuple, buf []int) []int) *DistRelation {
 	if g.parallel(d.Len()) {
 		return g.parRoute(d, route)
 	}
-	out := newDistSized(d.Schema, g.size, d.Len())
+	out := g.cluster.newDistSized(d.Schema, g.size, d.Len())
 	recv := make([]int, g.size)
+	var buf []int
 	for src, f := range d.Frags {
 		for i := 0; i < f.Len(); i++ {
 			t := f.Row(i)
-			for _, dest := range route(src, t) {
+			buf = route(src, t, buf)
+			for _, dest := range buf {
 				if dest < 0 || dest >= g.size {
 					panic(fmt.Sprintf("mpc: route destination %d outside group of size %d", dest, g.size))
 				}
@@ -784,7 +842,9 @@ func (g *Group) Distribute(d *DistRelation, sizes []int, route func(src *relatio
 		per = d.Len()/total + 1
 	}
 	for i, k := range sizes {
-		out[i] = &DistRelation{Schema: d.Schema, Frags: relation.NewSlab(d.Schema, k, per)}
+		frags, blob := relation.NewSlabArena(d.Schema, k, per)
+		g.cluster.trackArena(blob)
+		out[i] = &DistRelation{Schema: d.Schema, Frags: frags}
 	}
 	recv := make([]int, maxInt(total, g.size))
 	for _, f := range d.Frags {
@@ -853,7 +913,9 @@ func (g *Group) DistributeSpread(d *DistRelation, sizes []int, pick func(src *re
 		per = d.Len()/total + 1
 	}
 	for i, k := range sizes {
-		out[i] = &DistRelation{Schema: d.Schema, Frags: relation.NewSlab(d.Schema, k, per)}
+		frags, blob := relation.NewSlabArena(d.Schema, k, per)
+		g.cluster.trackArena(blob)
+		out[i] = &DistRelation{Schema: d.Schema, Frags: frags}
 	}
 	recv := make([]int, maxInt(total, g.size))
 	rr := make([]int, len(sizes))

@@ -1,0 +1,100 @@
+package mpc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"coverpack/internal/trace"
+)
+
+// Send-list pooling.
+//
+// The engine's fan-out exchanges allocate one per-chunk received-unit
+// vector (and, for DistributeSpread, one rotation-count vector) per
+// chunk per exchange. Those vectors are dead as soon as foldRecv sums
+// them — unlike the folded recv vector, which the plan cache may
+// retain — so they recycle through a process-wide pool across chunks,
+// exchanges, and runs.
+//
+// Determinism: vectors are zeroed on acquisition, so a recycled vector
+// is indistinguishable from a fresh make. Counters are trace.PoolStats
+// diagnostics only.
+
+var (
+	// sendPoolingOff is inverted so the zero value means "enabled".
+	sendPoolingOff atomic.Bool
+	sendPool       sync.Pool // *[]int
+
+	sendGets     atomic.Uint64
+	sendHits     atomic.Uint64
+	sendMisses   atomic.Uint64
+	sendPuts     atomic.Uint64
+	sendDiscards atomic.Uint64
+)
+
+// SetSendPooling toggles send-list recycling globally. Off, the getters
+// degrade to plain make — the pre-pooling behavior.
+func SetSendPooling(on bool) { sendPoolingOff.Store(!on) }
+
+// SendPoolingEnabled reports the current toggle state.
+func SendPoolingEnabled() bool { return !sendPoolingOff.Load() }
+
+// SendPoolStats snapshots the send-list pool counters.
+func SendPoolStats() trace.PoolStats {
+	return trace.PoolStats{
+		Gets:     sendGets.Load(),
+		Hits:     sendHits.Load(),
+		Misses:   sendMisses.Load(),
+		Puts:     sendPuts.Load(),
+		Discards: sendDiscards.Load(),
+	}
+}
+
+// ResetSendPoolStats zeroes the send-list pool counters (test seam).
+func ResetSendPoolStats() {
+	sendGets.Store(0)
+	sendHits.Store(0)
+	sendMisses.Store(0)
+	sendPuts.Store(0)
+	sendDiscards.Store(0)
+}
+
+// getSendList returns a zeroed []int of length n, recycled when a
+// pooled vector is large enough.
+func getSendList(n int) []int {
+	if sendPoolingOff.Load() {
+		return make([]int, n)
+	}
+	sendGets.Add(1)
+	if v := sendPool.Get(); v != nil {
+		if s := *v.(*[]int); cap(s) >= n {
+			sendHits.Add(1)
+			s = s[:n]
+			clear(s)
+			return s
+		}
+	}
+	sendMisses.Add(1)
+	return make([]int, n)
+}
+
+// putSendList returns a vector to the pool. The caller must not use it
+// afterwards.
+func putSendList(s []int) {
+	if s == nil {
+		return
+	}
+	if sendPoolingOff.Load() {
+		sendDiscards.Add(1)
+		return
+	}
+	sendPuts.Add(1)
+	sendPool.Put(&s)
+}
+
+// putSendLists releases a batch of per-chunk vectors (post-foldRecv).
+func putSendLists(parts [][]int) {
+	for _, p := range parts {
+		putSendList(p)
+	}
+}

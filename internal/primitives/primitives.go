@@ -134,6 +134,7 @@ func localAggregate(f *relation.Relation, keyAttrs []int, valAttr int, outSchema
 		}
 		out.Add(nt)
 	}
+	groups.Release()
 	return out
 }
 

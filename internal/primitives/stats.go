@@ -136,6 +136,7 @@ func multiplyWeights(g *mpc.Group, parent, agg *mpc.DistRelation, key []int, wei
 				nf.Add(nt)
 			}
 		}
+		tab.Release()
 		out.Frags[i] = nf
 	}
 	return out

@@ -62,12 +62,18 @@ func (b *Builder) Len() int {
 }
 
 // Build concatenates the shards in index order into one relation. The
-// builder must not be used afterwards.
+// builder must not be used afterwards: Build recycles the shard arenas
+// into the cross-run pool (they are exclusively owned by the builder)
+// and draws the output arena from it. The output arena is owned by the
+// returned relation; an owner that can prove the relation dead may
+// recycle it via PutArena(rel.Data()).
 func (b *Builder) Build() *Relation {
 	rows := b.Len()
-	data := make([]Value, 0, rows*b.arity)
+	data := GetArena(rows * b.arity)
 	for i := range b.shards {
 		data = append(data, b.shards[i].data...)
+		PutArena(b.shards[i].data)
+		b.shards[i].data = nil
 	}
 	return FromData(b.schema, data, rows)
 }

@@ -204,6 +204,7 @@ func countSubtree(q *hypergraph.Query, tree *hypergraph.JoinTree, rels []*Relati
 			}
 			weights[i] = mulSat(weights[i], s)
 		}
+		agg.Release()
 	}
 	return weights
 }

@@ -270,6 +270,7 @@ func (r *Relation) GroupCount(a, countAttr int) *Relation {
 		nt[cp] = counts[e]
 		out.Add(nt)
 	}
+	groups.Release()
 	return out
 }
 

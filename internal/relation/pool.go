@@ -1,0 +1,180 @@
+package relation
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"coverpack/internal/trace"
+)
+
+// Cross-run arena recycling.
+//
+// A sweep executes many simulator runs back to back, and every run
+// grows the same shapes of arena: exchange slab blobs, builder shard
+// concatenations, gather buffers. The pool below recycles those flat
+// []Value arenas across runs so the 2nd..Nth cell of a sweep reaches an
+// allocation steady state instead of re-growing every arena from zero.
+//
+// Ownership contract. An arena may be released (PutArena) only by an
+// owner that can prove no live Relation still references any part of
+// it. In practice that is the mpc.Cluster: it tracks every pooled blob
+// it acquires during a run and releases them all in Release(), after
+// the run's Report (scalars only) has been extracted. Slab blobs are
+// shared by many relations (NewSlabArena), so only the whole blob —
+// never an individual relation's sub-slice — is ever released.
+//
+// Determinism. Recycled arenas are returned with length 0 (append
+// targets) or are fully overwritten before any read, and no observable
+// artifact depends on slice capacity, so pooling on/off cannot change
+// reports, loads, or traces. The counters are trace.PoolStats
+// diagnostics only.
+
+// Size classes are powers of two from 1<<minArenaBits to
+// 1<<maxArenaBits values. Smaller requests are not worth pooling;
+// larger ones (≥128 MiB at 8-byte values) are left to the allocator.
+const (
+	minArenaBits = 8  // 256 values = 2 KiB
+	maxArenaBits = 24 // 16 Mi values = 128 MiB
+	arenaClasses = maxArenaBits - minArenaBits + 1
+)
+
+var (
+	arenaPools [arenaClasses]sync.Pool
+
+	// poolingOff is inverted so the zero value means "enabled".
+	poolingOff atomic.Bool
+
+	poolGets     atomic.Uint64
+	poolHits     atomic.Uint64
+	poolMisses   atomic.Uint64
+	poolPuts     atomic.Uint64
+	poolDiscards atomic.Uint64
+)
+
+// SetPooling toggles cross-run arena recycling globally. Off, GetArena
+// degrades to plain make and PutArena discards — the pre-pooling
+// allocation behavior, byte-identical in every observable artifact.
+func SetPooling(on bool) { poolingOff.Store(!on) }
+
+// PoolingEnabled reports the current toggle state.
+func PoolingEnabled() bool { return !poolingOff.Load() }
+
+// PoolStats snapshots the arena-pool counters.
+func PoolStats() trace.PoolStats {
+	return trace.PoolStats{
+		Gets:     poolGets.Load(),
+		Hits:     poolHits.Load(),
+		Misses:   poolMisses.Load(),
+		Puts:     poolPuts.Load(),
+		Discards: poolDiscards.Load(),
+	}
+}
+
+// ResetPoolStats zeroes the arena-pool counters (test/bench seam).
+func ResetPoolStats() {
+	poolGets.Store(0)
+	poolHits.Store(0)
+	poolMisses.Store(0)
+	poolPuts.Store(0)
+	poolDiscards.Store(0)
+}
+
+// classFor returns the smallest size class holding n values, or -1 when
+// n exceeds the largest class.
+func classFor(n int) int {
+	bits := minArenaBits
+	for bits <= maxArenaBits && 1<<bits < n {
+		bits++
+	}
+	if bits > maxArenaBits {
+		return -1
+	}
+	return bits - minArenaBits
+}
+
+// classOf returns the largest size class whose capacity fits entirely
+// within c, or -1 when c is below the smallest class. Releasing into
+// the floor class keeps the Get invariant: any arena stored in class k
+// has capacity ≥ 1<<(k+minArenaBits).
+func classOf(c int) int {
+	if c < 1<<minArenaBits {
+		return -1
+	}
+	bits := minArenaBits
+	for bits < maxArenaBits && 1<<(bits+1) <= c {
+		bits++
+	}
+	return bits - minArenaBits
+}
+
+// GetArena returns a zero-length []Value with capacity ≥ n, recycled
+// from the pool when possible. Contents beyond length 0 are stale; the
+// caller must append or fully overwrite before reading.
+func GetArena(n int) []Value {
+	if n <= 0 {
+		return nil
+	}
+	if poolingOff.Load() {
+		return make([]Value, 0, n)
+	}
+	poolGets.Add(1)
+	cl := classFor(n)
+	if cl < 0 {
+		poolMisses.Add(1)
+		return make([]Value, 0, n)
+	}
+	if v := arenaPools[cl].Get(); v != nil {
+		poolHits.Add(1)
+		return (*v.(*[]Value))[:0]
+	}
+	poolMisses.Add(1)
+	return make([]Value, 0, 1<<(cl+minArenaBits))
+}
+
+// PutArena releases an arena back to the pool. The caller must own the
+// entire backing array exclusively — in particular, a slab sub-slice
+// must never be released, only the whole slab blob. Undersized and
+// oversized arenas are discarded.
+func PutArena(a []Value) {
+	if a == nil {
+		return
+	}
+	if poolingOff.Load() {
+		poolDiscards.Add(1)
+		return
+	}
+	cl := classOf(cap(a))
+	if cl < 0 {
+		poolDiscards.Add(1)
+		return
+	}
+	poolPuts.Add(1)
+	a = a[:0]
+	arenaPools[cl].Put(&a)
+}
+
+// NewSlabArena is NewSlab with the arena block drawn from the pool. It
+// additionally returns the backing blob so the owner can recycle it
+// with PutArena once every relation in the slab is dead (nil when no
+// block was allocated). The sub-slices share the single blob, so only
+// the returned blob — never an individual relation's arena — may be
+// released.
+func NewSlabArena(schema Schema, n, perHint int) ([]*Relation, []Value) {
+	arity := schema.Len()
+	slab := make([]Relation, n)
+	out := make([]*Relation, n)
+	var blob []Value
+	if perHint > 0 && arity > 0 {
+		need := n * perHint * arity
+		blob = GetArena(need)[:need]
+	}
+	for i := range slab {
+		slab[i] = Relation{schema: schema, arity: arity}
+		if blob != nil {
+			lo := i * perHint * arity
+			slab[i].data = blob[lo : lo : lo+perHint*arity]
+		}
+		out[i] = &slab[i]
+	}
+	return out, blob
+}

@@ -49,6 +49,7 @@ func Uniform(q *hypergraph.Query, n int, dom int64, seed uint64) *relation.Insta
 				in.Rel(e).Add(t)
 			}
 		}
+		seen.Release()
 	}
 	return in
 }
@@ -80,6 +81,7 @@ func UniformSizes(q *hypergraph.Query, sizes []int, dom int64, seed uint64) *rel
 				in.Rel(e).Add(t)
 			}
 		}
+		seen.Release()
 	}
 	return in
 }
@@ -118,6 +120,7 @@ func Zipf(q *hypergraph.Query, n int, dom int64, s float64, seed uint64) *relati
 				in.Rel(e).Add(t)
 			}
 		}
+		seen.Release()
 	}
 	return in
 }
@@ -386,6 +389,7 @@ func ProvableHard(q *hypergraph.Query, w *fractional.Witness, n int, seed uint64
 				rel.Add(t)
 			}
 		}
+		seen.Release()
 	}
 	return in
 }
