@@ -1,0 +1,19 @@
+// Command benchdiff compares a fresh `go test -bench` run against the
+// committed BENCH_*.json baselines (and/or a saved bench text file) and
+// reports per-benchmark ns/op deltas with a noise threshold:
+//
+//	benchdiff                     # report against BENCH_*.json
+//	benchdiff -check              # exit 1 on regression (CI gate)
+//	benchdiff -input fresh.txt    # diff a saved run instead of executing
+//	benchdiff -threshold 0.5      # tolerate up to 50% slowdown
+package main
+
+import (
+	"os"
+
+	"coverpack/internal/benchdiff"
+)
+
+func main() {
+	os.Exit(benchdiff.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

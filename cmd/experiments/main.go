@@ -14,13 +14,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
 	"time"
 
 	"coverpack"
 	"coverpack/internal/experiments"
+	"coverpack/internal/profiling"
 )
 
 func main() {
@@ -32,6 +32,7 @@ func main() {
 	memBudget := flag.Int64("membudget", 0, "admission budget in total tuples resident across in-flight cells (0 = default, negative = unlimited)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (e.g. 127.0.0.1:9190; \":0\" picks a free port)")
 	flag.Parse()
 	sub := "all"
 	if flag.NArg() > 0 {
@@ -58,26 +59,31 @@ func main() {
 	}
 	cfg := experiments.Config{Small: *small, Workers: nw, RunWorkers: np, MemBudget: *memBudget}
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+	if *debugAddr != "" {
+		srv, err := coverpack.StartDebugServer(*debugAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "experiments: telemetry on http://%s/\n", srv.Addr())
+	}
+
+	// Profile paths are validated up front: a bad -cpuprofile or
+	// -memprofile path fails here, not silently after the sweep.
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
 		}
-		defer pprof.StopCPUProfile()
-	}
-	if *memProfile != "" {
-		defer writeHeapProfile(*memProfile)
-	}
+	}()
 
 	start := time.Now()
 	var tables []experiments.Table
-	var err error
 	switch sub {
 	case "all":
 		tables, err = experiments.All(cfg)
@@ -152,22 +158,6 @@ func captureTrace(sub string, cfg experiments.Config, file, format string) error
 	fmt.Printf("trace written to %s (%s)\n\n", file, tf)
 	printTable(experiments.PhaseTableOf(root))
 	return nil
-}
-
-// writeHeapProfile snapshots the heap after a final GC so the profile
-// reflects retained memory (pool contents included), not transient
-// garbage.
-func writeHeapProfile(path string) {
-	f, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		return
-	}
-	defer f.Close()
-	runtime.GC()
-	if err := pprof.WriteHeapProfile(f); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-	}
 }
 
 func one(t experiments.Table, err error) ([]experiments.Table, error) {

@@ -10,11 +10,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"runtime/pprof"
 	"strings"
 	"time"
 
 	"coverpack"
+	"coverpack/internal/profiling"
 	"coverpack/internal/sched"
 )
 
@@ -36,8 +36,18 @@ func main() {
 		parallel  = flag.Int("parallel", 1, "repeat the run this many times concurrently through the run-level scheduler and require identical reports (determinism stress mode)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (e.g. 127.0.0.1:9190; \":0\" picks a free port)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		srv, err := coverpack.StartDebugServer(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "mpcjoin: telemetry on http://%s/\n", srv.Addr())
+	}
 
 	q, err := pickQuery(*queryStr, *catalog)
 	if err != nil {
@@ -94,31 +104,17 @@ func main() {
 			nw, reps, product, runtime.NumCPU())
 	}
 
-	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
-		defer pprof.StopCPUProfile()
+	// Profile paths are validated up front: a bad -cpuprofile or
+	// -memprofile path fails here, not silently after the run.
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
 	}
-	if *memProf != "" {
-		defer func() {
-			f, err := os.Create(*memProf)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "mpcjoin:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "mpcjoin:", err)
-			}
-		}()
-	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "mpcjoin:", err)
+		}
+	}()
 
 	start := time.Now()
 	var rep *coverpack.Report

@@ -1,0 +1,208 @@
+// Package benchdiff compares benchmark measurements across runs: a
+// baseline assembled from committed BENCH_*.json files and/or saved
+// `go test -bench` text, against a fresh benchmark run. It reports
+// per-benchmark ns/op deltas with a noise threshold, so CI can flag a
+// real slowdown without tripping on jitter.
+//
+// Benchmarks are matched by normalized name (see Normalize): case,
+// the "Benchmark" prefix, the -N GOMAXPROCS suffix, and punctuation
+// are all ignored, which lets the heterogeneous committed JSON schemas
+// (memory/parallel/plan/sweep) line up with live go-bench output where
+// a counterpart exists. Entries present on only one side are listed
+// but never count as regressions.
+package benchdiff
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	// Name is the normalized benchmark name.
+	Name string
+	// NsPerOp is the measured nanoseconds per operation.
+	NsPerOp float64
+	// Source names where the entry came from (file or "live").
+	Source string
+}
+
+// Normalize canonicalizes a benchmark name for cross-source matching:
+// strips the "Benchmark" prefix and the trailing -N GOMAXPROCS suffix,
+// lowercases, and drops every character outside [a-z0-9/=.].
+func Normalize(name string) string {
+	name = strings.TrimPrefix(name, "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	name = strings.ToLower(name)
+	var b strings.Builder
+	b.Grow(len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '/', r == '=', r == '.':
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// ParseGoBench extracts benchmark entries from `go test -bench` text
+// output. Non-benchmark lines are ignored, so the full test output can
+// be fed in unfiltered.
+func ParseGoBench(r io.Reader, source string) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// BenchmarkName-4  100  123456 ns/op  [12 B/op  3 allocs/op]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		idx := -1
+		for i, f := range fields {
+			if f == "ns/op" {
+				idx = i
+				break
+			}
+		}
+		if idx < 2 {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[idx-1], 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, Entry{Name: Normalize(fields[0]), NsPerOp: ns, Source: source})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchdiff: reading %s: %w", source, err)
+	}
+	return out, nil
+}
+
+// Status classifies one compared benchmark.
+type Status string
+
+const (
+	StatusOK          Status = "ok"
+	StatusRegression  Status = "REGRESSION"
+	StatusImprovement Status = "improvement"
+	StatusBaseOnly    Status = "base-only"
+	StatusFreshOnly   Status = "fresh-only"
+)
+
+// Row is one line of a comparison report.
+type Row struct {
+	Name    string
+	BaseNs  float64 // 0 when fresh-only
+	FreshNs float64 // 0 when base-only
+	Ratio   float64 // FreshNs/BaseNs, 0 when either side is missing
+	Status  Status
+}
+
+// Report is a full baseline-vs-fresh comparison.
+type Report struct {
+	// Threshold is the relative ns/op change treated as noise.
+	Threshold float64
+	Rows      []Row
+}
+
+// Compare matches baseline and fresh entries by normalized name. A
+// fresh measurement more than threshold slower than baseline is a
+// regression; more than threshold faster is an improvement. When a
+// name appears multiple times on one side (e.g. the same benchmark in
+// two baseline files), the smallest ns/op wins — the best observed
+// run is the fairest baseline.
+func Compare(base, fresh []Entry, threshold float64) Report {
+	best := func(es []Entry) map[string]float64 {
+		m := make(map[string]float64, len(es))
+		for _, e := range es {
+			if old, ok := m[e.Name]; !ok || e.NsPerOp < old {
+				m[e.Name] = e.NsPerOp
+			}
+		}
+		return m
+	}
+	b, f := best(base), best(fresh)
+	names := make([]string, 0, len(b)+len(f))
+	for n := range b {
+		names = append(names, n)
+	}
+	for n := range f {
+		if _, ok := b[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	rep := Report{Threshold: threshold}
+	for _, n := range names {
+		bn, inB := b[n]
+		fn, inF := f[n]
+		row := Row{Name: n, BaseNs: bn, FreshNs: fn}
+		switch {
+		case !inF:
+			row.Status = StatusBaseOnly
+		case !inB:
+			row.Status = StatusFreshOnly
+		default:
+			row.Ratio = fn / bn
+			switch {
+			case row.Ratio > 1+threshold:
+				row.Status = StatusRegression
+			case row.Ratio < 1-threshold:
+				row.Status = StatusImprovement
+			default:
+				row.Status = StatusOK
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}
+
+// Regressions returns the rows flagged as regressions.
+func (r Report) Regressions() []Row {
+	var out []Row
+	for _, row := range r.Rows {
+		if row.Status == StatusRegression {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Write renders the report as an aligned text table.
+func (r Report) Write(w io.Writer) error {
+	tw := bufio.NewWriter(w)
+	fmt.Fprintf(tw, "%-52s %14s %14s %8s  %s\n", "benchmark", "base ns/op", "fresh ns/op", "ratio", "status")
+	for _, row := range r.Rows {
+		ratio := "-"
+		if row.Ratio > 0 {
+			ratio = strconv.FormatFloat(row.Ratio, 'f', 2, 64) + "x"
+		}
+		fmt.Fprintf(tw, "%-52s %14s %14s %8s  %s\n",
+			row.Name, fmtNs(row.BaseNs), fmtNs(row.FreshNs), ratio, row.Status)
+	}
+	n := len(r.Regressions())
+	if n > 0 {
+		fmt.Fprintf(tw, "\n%d regression(s) beyond ±%.0f%% threshold\n", n, r.Threshold*100)
+	} else {
+		fmt.Fprintf(tw, "\nno regressions beyond ±%.0f%% threshold\n", r.Threshold*100)
+	}
+	return tw.Flush()
+}
+
+func fmtNs(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'f', 0, 64)
+}

@@ -1,0 +1,128 @@
+package benchdiff
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Main is the testable body of cmd/benchdiff: it returns the process
+// exit code instead of calling os.Exit. Exit codes: 0 no regressions
+// (or -check off), 1 regressions found with -check, 2 usage/run error.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonGlob  = fs.String("json", "BENCH_*.json", "comma-separated globs of committed baseline JSON files (empty to skip)")
+		baseFile  = fs.String("base", "", "saved `go test -bench` text to add to the baseline")
+		input     = fs.String("input", "", "read the fresh run from this `go test -bench` text file instead of running go test")
+		benchRe   = fs.String("bench", ".", "benchmark regexp passed to go test")
+		benchTime = fs.String("benchtime", "1x", "benchtime passed to go test")
+		pkg       = fs.String("pkg", ".", "package to benchmark")
+		threshold = fs.Float64("threshold", 0.25, "relative ns/op change treated as noise")
+		check     = fs.Bool("check", false, "exit 1 when a regression is found")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var base []Entry
+	if *jsonGlob != "" {
+		for _, pat := range strings.Split(*jsonGlob, ",") {
+			paths, err := filepath.Glob(strings.TrimSpace(pat))
+			if err != nil {
+				fmt.Fprintln(stderr, "benchdiff:", err)
+				return 2
+			}
+			for _, p := range paths {
+				data, err := os.ReadFile(p)
+				if err != nil {
+					fmt.Fprintln(stderr, "benchdiff:", err)
+					return 2
+				}
+				es, err := ParseBenchJSON(p, data)
+				if err != nil {
+					fmt.Fprintln(stderr, err)
+					return 2
+				}
+				base = append(base, es...)
+			}
+		}
+	}
+	if *baseFile != "" {
+		es, err := parseBenchFile(*baseFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		base = append(base, es...)
+	}
+	if len(base) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: no baseline entries (check -json / -base)")
+		return 2
+	}
+
+	var fresh []Entry
+	if *input != "" {
+		es, err := parseBenchFile(*input)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		fresh = es
+	} else {
+		out, err := runGoBench(*pkg, *benchRe, *benchTime, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		es, err := ParseGoBench(bytes.NewReader(out), "live")
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fresh = es
+	}
+	if len(fresh) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: fresh run produced no benchmark lines")
+		return 2
+	}
+
+	rep := Compare(base, fresh, *threshold)
+	if err := rep.Write(stdout); err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	if *check && len(rep.Regressions()) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func parseBenchFile(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseGoBench(f, path)
+}
+
+// runGoBench executes a fresh benchmark run and returns its combined
+// output. The command line is echoed to stderr so CI logs show what
+// was measured.
+func runGoBench(pkg, re, benchtime string, stderr io.Writer) ([]byte, error) {
+	args := []string{"test", "-run", "^$", "-bench", re, "-benchtime", benchtime, pkg}
+	fmt.Fprintln(stderr, "benchdiff: running go", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %v\n%s", err, out)
+	}
+	return out, nil
+}

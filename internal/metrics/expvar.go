@@ -1,0 +1,27 @@
+package metrics
+
+import (
+	"expvar"
+	"sync"
+)
+
+// The expvar bridge publishes a registry under one expvar name, so
+// processes that already expose /debug/vars (or embed expvar into their
+// own diagnostics) see the same numbers as /metrics without a second
+// instrumentation layer. The published variable renders the JSON
+// snapshot on every read.
+
+var expvarMu sync.Mutex
+
+// PublishExpvar publishes the registry's snapshot as the expvar
+// variable `name`. Publishing the same name twice is a no-op (expvar
+// itself panics on duplicates; the bridge absorbs that so CLIs and
+// tests can call it unconditionally).
+func (r *Registry) PublishExpvar(name string) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

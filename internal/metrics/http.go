@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// The opt-in HTTP debug server: one listener serving the Prometheus
+// exposition, the JSON snapshot, expvar, and the runtime profiling
+// endpoints. CLIs enable it with -debug-addr; it answers "what is this
+// process doing right now" while a sweep runs.
+//
+// Routes:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/metrics.json   JSON snapshot of the registry
+//	/debug/vars     expvar (includes the registry via the bridge)
+//	/debug/pprof/*  net/http/pprof profiles (heap, goroutine, CPU, ...)
+
+// MetricsHandler serves the registry as Prometheus text.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// Headers are gone; nothing useful left to do.
+			return
+		}
+	})
+}
+
+// JSONHandler serves the registry's JSON snapshot.
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// DebugMux returns the full debug route set for the registry.
+func (r *Registry) DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.MetricsHandler())
+	mux.Handle("/metrics.json", r.JSONHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintf(w, "%s telemetry\n\n/metrics\n/metrics.json\n/debug/vars\n/debug/pprof/\n", r.name)
+	})
+	return mux
+}
+
+// DebugServer is a running debug endpoint; Close shuts it down.
+type DebugServer struct {
+	srv *http.Server
+	lis net.Listener
+}
+
+// StartDebugServer binds addr (host:port; ":0" picks a free port) and
+// serves the registry's debug routes in a background goroutine. It also
+// publishes the registry through the expvar bridge so /debug/vars
+// carries the same numbers.
+func StartDebugServer(addr string, r *Registry) (*DebugServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: debug server: %w", err)
+	}
+	r.PublishExpvar("metrics:" + r.name)
+	srv := &http.Server{Handler: r.DebugMux(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(lis) }()
+	return &DebugServer{srv: srv, lis: lis}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *DebugServer) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *DebugServer) Close() error { return s.srv.Close() }

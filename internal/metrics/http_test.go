@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugServerEndToEnd(t *testing.T) {
+	r := NewRegistry("e2e")
+	r.NewCounter("e2e_hits_total", "hits").Add(5)
+	h := r.NewHistogram("e2e_seconds", "t", []float64{1, 10})
+	h.Observe(0.5)
+
+	srv, err := StartDebugServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	if err := Lint([]byte(body)); err != nil {
+		t.Errorf("/metrics does not lint: %v\n%s", err, body)
+	}
+	if !strings.Contains(body, "e2e_hits_total 5") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, `e2e_seconds_bucket{le="+Inf"} 1`) {
+		t.Errorf("/metrics missing histogram:\n%s", body)
+	}
+
+	jbody, jct := get("/metrics.json")
+	if !strings.HasPrefix(jct, "application/json") {
+		t.Errorf("/metrics.json content-type = %q", jct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(jbody), &snap); err != nil {
+		t.Fatalf("/metrics.json does not parse: %v", err)
+	}
+	if snap.Registry != "e2e" || len(snap.Metrics) != 2 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+
+	if body, _ := get("/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline returned nothing")
+	}
+	if body, _ := get("/debug/vars"); !strings.Contains(body, "metrics:e2e") {
+		t.Error("/debug/vars missing the expvar bridge entry")
+	}
+	if body, _ := get("/"); !strings.Contains(body, "/metrics") {
+		t.Errorf("index page = %q", body)
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := NewRegistry("dup")
+	// Publishing the same name twice must not panic (expvar.Publish
+	// panics on duplicates; the bridge absorbs that).
+	r.PublishExpvar("metrics:dup-test")
+	r.PublishExpvar("metrics:dup-test")
+}

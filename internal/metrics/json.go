@@ -1,0 +1,79 @@
+package metrics
+
+// The JSON snapshot is the machine-readable twin of the Prometheus
+// exposition: one entry per series in the same deterministic order,
+// served at /metrics.json by the debug server and published through
+// the expvar bridge.
+
+// Bucket is one cumulative histogram bucket of a snapshot.
+type Bucket struct {
+	// UpperBound is the bucket's inclusive upper bound. Only finite
+	// buckets appear; the +Inf bucket is SnapshotMetric.Count minus the
+	// last finite cumulative count.
+	UpperBound float64 `json:"le"`
+	// Count is the cumulative observation count up to UpperBound.
+	Count uint64 `json:"count"`
+}
+
+// SnapshotMetric is one series in a Snapshot.
+type SnapshotMetric struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the counter or gauge reading (absent for histograms).
+	Value *float64 `json:"value,omitempty"`
+	// Count/Sum/Buckets are the histogram reading (absent otherwise).
+	Count   *uint64  `json:"count,omitempty"`
+	Sum     *float64 `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time reading of a whole registry.
+type Snapshot struct {
+	Registry string           `json:"registry"`
+	Metrics  []SnapshotMetric `json:"metrics"`
+}
+
+// Snapshot reads every series. The result is deterministic in order
+// (families by name, series by label set) though of course not in
+// values.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{Registry: r.name}
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.series {
+			m := SnapshotMetric{Name: f.name, Kind: f.k.String()}
+			if len(s.labels) > 0 {
+				m.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					m.Labels[l.Key] = l.Value
+				}
+			}
+			switch c := s.col.(type) {
+			case *Counter:
+				v := float64(c.Value())
+				m.Value = &v
+			case *Gauge:
+				v := float64(c.Value())
+				m.Value = &v
+			case *funcVal:
+				v := c.fn()
+				m.Value = &v
+			case *Histogram:
+				count := c.Count()
+				sum := c.Sum()
+				m.Count = &count
+				m.Sum = &sum
+				// JSON has no +Inf, so only the finite buckets are listed;
+				// the +Inf bucket is reconstructed as Count minus the last
+				// finite cumulative count.
+				cum := c.snapshotBuckets()
+				m.Buckets = make([]Bucket, 0, len(c.bounds))
+				for i, b := range c.bounds {
+					m.Buckets = append(m.Buckets, Bucket{UpperBound: b, Count: cum[i]})
+				}
+			}
+			snap.Metrics = append(snap.Metrics, m)
+		}
+	}
+	return snap
+}

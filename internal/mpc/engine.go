@@ -60,6 +60,7 @@ func WithWorkers(n int) Option {
 		if n > 1 && runtime.GOMAXPROCS(0) == 1 {
 			c.workers = 1
 			c.fellBack = true
+			mEngineSeqFallbacks.Inc()
 			return
 		}
 		c.workers = n
@@ -140,6 +141,7 @@ func (c *Cluster) fork(n int, fn func(i int)) {
 		want = n
 	}
 	var wg sync.WaitGroup
+	spawned := 0
 spawn:
 	for extra := 1; extra < want; extra++ {
 		select {
@@ -150,10 +152,14 @@ spawn:
 				defer func() { <-c.tokens }()
 				run()
 			}()
+			spawned++
 		default:
 			break spawn // pool exhausted; the caller absorbs the rest
 		}
 	}
+	mEngineForks.Inc()
+	mEngineForkTasks.Add(uint64(n))
+	mEngineForkGoroutines.Add(uint64(spawned))
 	run()
 	wg.Wait()
 	if panicked.Load() {

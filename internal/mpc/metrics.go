@@ -1,0 +1,78 @@
+package mpc
+
+import (
+	"time"
+
+	"coverpack/internal/metrics"
+)
+
+// Process-wide telemetry of the simulator, registered on the default
+// registry. Everything here is observation-only: the counters mirror
+// quantities the simulator already computes (per-cluster Stats and
+// CacheStats are untouched), so metrics on/off cannot change a Report,
+// a trace, or a table — the root difftest oracle pins that contract.
+//
+// The per-round load histograms are the live form of the paper's
+// central quantity: mRoundMaxLoad observes, for every charged exchange
+// anywhere in the process, the maximum per-server received units — the
+// L whose bound is O(N/p^{1/ρ}) — while mRoundUnits observes the
+// round's total communication volume. Scraping /metrics mid-sweep
+// therefore yields the load distribution as it accumulates, not a
+// post-hoc trace export.
+var (
+	mRounds = metrics.Default.NewCounter("coverpack_mpc_rounds_total",
+		"Charged exchange rounds across all clusters in this process.")
+	mUnits = metrics.Default.NewCounter("coverpack_mpc_units_total",
+		"Total communication units charged across all clusters.")
+	mRoundMaxLoad = metrics.Default.NewHistogram("coverpack_mpc_round_max_load",
+		"Per-exchange maximum per-server received units (the paper's per-round load L).",
+		metrics.ExponentialBuckets(1, 4, 12))
+	mRoundUnits = metrics.Default.NewHistogram("coverpack_mpc_round_units",
+		"Per-exchange total received units (communication volume of one round).",
+		metrics.ExponentialBuckets(1, 4, 14))
+
+	mPhaseSeconds = metrics.Default.NewHistogramVec("coverpack_mpc_phase_seconds",
+		"Wall-clock seconds spent inside named algorithm phases (inclusive of nested phases).",
+		metrics.ExponentialBuckets(1e-6, 10, 8), "phase")
+
+	mPlanHits = metrics.Default.NewCounter("coverpack_plan_cache_events_total",
+		"Exchange-plan cache outcomes across all clusters.", metrics.Label{Key: "event", Value: "hit"})
+	mPlanMisses = metrics.Default.NewCounter("coverpack_plan_cache_events_total",
+		"", metrics.Label{Key: "event", Value: "miss"})
+	mPlanPartitionHits = metrics.Default.NewCounter("coverpack_plan_cache_events_total",
+		"", metrics.Label{Key: "event", Value: "partition_hit"})
+	mPlanInvalidated = metrics.Default.NewCounter("coverpack_plan_cache_events_total",
+		"", metrics.Label{Key: "event", Value: "invalidated_replay"})
+	mPlanEvictions = metrics.Default.NewCounter("coverpack_plan_cache_events_total",
+		"", metrics.Label{Key: "event", Value: "eviction"})
+
+	mEngineForks = metrics.Default.NewCounter("coverpack_engine_forks_total",
+		"Parallel fan-outs issued by the execution engine.")
+	mEngineForkTasks = metrics.Default.NewCounter("coverpack_engine_fork_tasks_total",
+		"Tasks executed across all engine fan-outs.")
+	mEngineForkGoroutines = metrics.Default.NewCounter("coverpack_engine_fork_goroutines_total",
+		"Extra goroutines admitted by the engine token pool (utilization = goroutines / (forks × (workers−1))).")
+	mEngineSeqFallbacks = metrics.Default.NewCounter("coverpack_engine_seq_fallbacks_total",
+		"Clusters that requested WithWorkers but fell back to sequential execution (GOMAXPROCS=1).")
+)
+
+// observeRound records one charged exchange's load shape. max and total
+// are the values chargeRound already computed for Stats.
+func observeRound(max int, total int64) {
+	mRounds.Inc()
+	mUnits.Add(uint64(total))
+	mRoundMaxLoad.Observe(float64(max))
+	mRoundUnits.Observe(float64(total))
+}
+
+// spanTimer starts a wall-clock timer for one named phase; the returned
+// func observes the elapsed time. Nil when metrics are disabled, so
+// Span pays one atomic load in that case.
+func spanTimer(name string) func() {
+	if !metrics.Enabled() {
+		return nil
+	}
+	h := mPhaseSeconds.With(name)
+	start := time.Now()
+	return func() { h.Observe(time.Since(start).Seconds()) }
+}

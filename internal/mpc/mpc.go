@@ -293,34 +293,43 @@ func (g *Group) Stats() Stats {
 // chargeRound records one communication round of the given operation
 // kind with the given per-destination received unit counts.
 func (g *Group) chargeRound(op trace.Op, recv []int) {
-	if obs := g.observer(); obs != nil {
-		m := 0
-		for _, r := range recv {
-			if r > m {
-				m = r
-			}
+	m := 0
+	var total int64
+	for _, r := range recv {
+		if r > m {
+			m = r
 		}
+		total += int64(r)
+	}
+	if obs := g.observer(); obs != nil {
 		obs(m)
 	}
 	if rec := g.recorder(); rec != nil {
 		rec.Exchange(op, recv)
 	}
 	g.stats.Rounds++
-	for _, r := range recv {
-		if r > g.stats.MaxLoad {
-			g.stats.MaxLoad = r
-		}
-		g.stats.TotalUnits += int64(r)
+	if m > g.stats.MaxLoad {
+		g.stats.MaxLoad = m
 	}
+	g.stats.TotalUnits += total
 	if g.size > g.used {
 		g.used = g.size
 	}
+	// Observation-only: the live per-round load histograms read the same
+	// max/total the Stats fold just consumed.
+	observeRound(m, total)
 }
 
 // Span runs fn inside a named phase span when the cluster records
-// traces; with tracing off it is exactly fn(). Phase spans are what the
-// per-phase load attribution table aggregates by.
+// traces; with tracing off it is exactly fn() plus, when metrics are
+// enabled, a wall-clock phase timer. Phase spans are what the per-phase
+// load attribution table aggregates by; the timer is the wall-clock
+// complement of that load-unit attribution (inclusive of nested
+// phases), recorded into the coverpack_mpc_phase_seconds histogram.
 func (g *Group) Span(name string, fn func()) {
+	if done := spanTimer(name); done != nil {
+		defer done()
+	}
 	rec := g.recorder()
 	if rec == nil {
 		fn()

@@ -117,8 +117,10 @@ func (pc *planCache) lookup(key string) *exchangePlan {
 	pc.mu.Unlock()
 	if p != nil {
 		pc.hits.Add(1)
+		mPlanHits.Inc()
 	} else {
 		pc.misses.Add(1)
+		mPlanMisses.Inc()
 	}
 	return p
 }
@@ -136,6 +138,7 @@ func (pc *planCache) store(key string, p *exchangePlan) {
 		pc.entries = make(map[string]*exchangePlan)
 		pc.tuples = 0
 		pc.evictions.Add(1)
+		mPlanEvictions.Inc()
 	}
 	if n <= maxPlanTuples {
 		pc.entries[key] = p
@@ -175,6 +178,7 @@ func (g *Group) replayPlan(d *DistRelation, plan *exchangePlan, attrs []int) *Di
 	} else {
 		pc.mu.Unlock()
 		pc.invalidated.Add(1)
+		mPlanInvalidated.Inc()
 		g.cluster.fork(len(frags), func(k int) {
 			f := relation.New(d.Schema)
 			f.Grow(len(plan.dest[k]))
@@ -203,6 +207,7 @@ func (g *Group) replayPlan(d *DistRelation, plan *exchangePlan, attrs []int) *Di
 // computes.
 func (g *Group) repartitionIdentity(d *DistRelation, attrs []int) *DistRelation {
 	g.cluster.plans.partitionHits.Add(1)
+	mPlanPartitionHits.Inc()
 	recv := make([]int, g.size)
 	if g.cluster.chargeSelfSends {
 		for i, f := range d.Frags {

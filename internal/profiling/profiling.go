@@ -1,0 +1,70 @@
+// Package profiling wraps runtime/pprof CPU and heap profiling with
+// eager path validation: both output files are created at Start, so a
+// mistyped or unwritable -cpuprofile/-memprofile path fails at process
+// startup instead of silently at exit — after the expensive run already
+// happened.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the requested profiles. Empty paths disable the
+// corresponding profile; with both empty the returned stop is a no-op.
+// The caller must invoke stop (usually deferred) to finalize: it stops
+// the CPU profile and snapshots the heap after a GC, so the heap
+// profile reflects retained memory rather than transient garbage.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile, memFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			cpuFile.Close()
+			os.Remove(cpuFile.Name())
+		}
+		if memFile != nil {
+			memFile.Close()
+			os.Remove(memFile.Name())
+		}
+	}
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	if memPath != "" {
+		memFile, err = os.Create(memPath)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("heap profile: %w", err)
+		}
+	}
+	if cpuFile != nil {
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && first == nil {
+				first = fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memFile != nil {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(memFile); err != nil && first == nil {
+				first = fmt.Errorf("heap profile: %w", err)
+			}
+			if err := memFile.Close(); err != nil && first == nil {
+				first = fmt.Errorf("heap profile: %w", err)
+			}
+		}
+		return first
+	}, nil
+}

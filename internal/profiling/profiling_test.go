@@ -1,0 +1,64 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// An unwritable profile path must fail at Start, not at exit.
+func TestStartErrorsEarlyOnUnwritablePath(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "prof.out")
+	if _, err := Start(bad, ""); err == nil {
+		t.Fatal("Start with unwritable cpu path: want error, got nil")
+	}
+	if _, err := Start("", bad); err == nil {
+		t.Fatal("Start with unwritable heap path: want error, got nil")
+	}
+}
+
+// A failed Start must not leave a half-created file from the path that
+// did validate.
+func TestStartCleansUpOnPartialFailure(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "cpu.out")
+	bad := filepath.Join(dir, "no-such-dir", "mem.out")
+	if _, err := Start(good, bad); err == nil {
+		t.Fatal("Start: want error, got nil")
+	}
+	if _, err := os.Stat(good); !os.IsNotExist(err) {
+		t.Fatalf("cpu file left behind after failed Start: stat err = %v", err)
+	}
+}
+
+func TestStartAndStopWriteProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("stat %s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s: profile file is empty", p)
+		}
+	}
+}
+
+func TestStartNoopWhenBothEmpty(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}

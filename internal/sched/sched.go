@@ -87,6 +87,8 @@ func Run(cells []Cell, o Options) (Stats, error) {
 		w = len(cells)
 	}
 	st := Stats{Cells: len(cells), Workers: w}
+	mSchedRuns.Inc()
+	mSchedCells.Add(uint64(len(cells)))
 	if len(cells) == 0 {
 		return st, nil
 	}
@@ -98,7 +100,16 @@ func Run(cells []Cell, o Options) (Stats, error) {
 			if c > st.PeakCost {
 				st.PeakCost = c
 			}
-			if err := cells[i].Run(); err != nil {
+			mSchedRunning.Add(1)
+			mSchedInflight.Add(c)
+			done := cellTimer()
+			err := cells[i].Run()
+			if done != nil {
+				done()
+			}
+			mSchedInflight.Add(-c)
+			mSchedRunning.Add(-1)
+			if err != nil {
 				return st, err
 			}
 		}
@@ -132,6 +143,7 @@ func Run(cells []Cell, o Options) (Stats, error) {
 				}
 				if !waited {
 					st.GateWaits++
+					mSchedGateWaits.Inc()
 					waited = true
 				}
 				gate.Wait()
@@ -149,7 +161,15 @@ func Run(cells []Cell, o Options) (Stats, error) {
 			}
 			mu.Unlock()
 
+			mSchedRunning.Add(1)
+			mSchedInflight.Add(c)
+			done := cellTimer()
 			err := cells[i].Run()
+			if done != nil {
+				done()
+			}
+			mSchedInflight.Add(-c)
+			mSchedRunning.Add(-1)
 
 			mu.Lock()
 			if err != nil {

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// PhaseTable on an empty span tree: no rows, and AttributedShare's
+// "nothing moved" convention returns 1.
+func TestPhaseTableEmptyTree(t *testing.T) {
+	root := &Span{Name: "run", Kind: KindRoot}
+	rows := PhaseTable(root)
+	if len(rows) != 0 {
+		t.Fatalf("rows = %+v, want none", rows)
+	}
+	if got := AttributedShare(rows); got != 1.0 {
+		t.Errorf("AttributedShare(empty) = %g, want 1", got)
+	}
+}
+
+// A tree whose exchanges all moved zero units must not divide by zero:
+// every Share is 0, exchanges are still counted, and AttributedShare
+// stays 1 (no unattributed share was subtracted).
+func TestPhaseTableZeroUnitTree(t *testing.T) {
+	root := &Span{Name: "run", Kind: KindRoot}
+	phase := &Span{Name: "statistics", Kind: KindPhase, Events: []Event{
+		{Op: OpHashPartition, Hist: LoadHist{Max: 0, Total: 0}},
+		{Op: OpHashPartition, Hist: LoadHist{Max: 0, Total: 0}},
+	}}
+	root.Children = []*Span{phase}
+	root.Events = []Event{{Op: OpBroadcast, Hist: LoadHist{}}}
+
+	rows := PhaseTable(root)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v, want 2", rows)
+	}
+	for _, r := range rows {
+		if r.Units != 0 || r.Share != 0 || r.MaxLoad != 0 {
+			t.Errorf("zero-unit row has nonzero aggregate: %+v", r)
+		}
+		if math.IsNaN(r.Share) || math.IsInf(r.Share, 0) {
+			t.Errorf("share is not finite: %+v", r)
+		}
+	}
+	byPhase := map[string]PhaseRow{}
+	for _, r := range rows {
+		byPhase[r.Phase] = r
+	}
+	if byPhase["statistics"].Exchanges != 2 || byPhase[Unattributed].Exchanges != 1 {
+		t.Errorf("exchange counts wrong: %+v", rows)
+	}
+	if got := AttributedShare(rows); got != 1.0 {
+		t.Errorf("AttributedShare(zero-unit) = %g, want 1", got)
+	}
+}
+
+// Structural children inherit the nearest enclosing phase; shares sum
+// to 1 and AttributedShare subtracts exactly the unattributed part.
+func TestPhaseTableAttribution(t *testing.T) {
+	root := &Span{Name: "run", Kind: KindRoot}
+	phase := &Span{Name: "semijoin", Kind: KindPhase}
+	branch := &Span{Name: "branch 0", Kind: KindParallel, Events: []Event{
+		{Op: OpHashPartition, Hist: LoadHist{Max: 5, Total: 30}},
+	}}
+	phase.Children = []*Span{branch}
+	root.Children = []*Span{phase}
+	root.Events = []Event{{Op: OpBroadcast, Hist: LoadHist{Max: 2, Total: 10}}}
+
+	rows := PhaseTable(root)
+	byPhase := map[string]PhaseRow{}
+	var sum float64
+	for _, r := range rows {
+		byPhase[r.Phase] = r
+		sum += r.Share
+	}
+	if r := byPhase["semijoin"]; r.Units != 30 || r.MaxLoad != 5 {
+		t.Errorf("semijoin row = %+v", r)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("shares sum to %g, want 1", sum)
+	}
+	if got, want := AttributedShare(rows), 0.75; math.Abs(got-want) > 1e-12 {
+		t.Errorf("AttributedShare = %g, want %g", got, want)
+	}
+	// Rows are sorted by units descending.
+	if rows[0].Phase != "semijoin" {
+		t.Errorf("sort order wrong: %+v", rows)
+	}
+}
