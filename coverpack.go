@@ -319,6 +319,16 @@ type ExecOptions struct {
 	// PlanStats, when non-nil, receives the exchange-plan cache counters
 	// (hits, misses, partition hits, ...) after the run.
 	PlanStats *CacheStats
+	// Streaming selects streaming iterator execution for the run:
+	// StreamDefault (the zero value) follows the process-wide switch
+	// (on by default), StreamOn/StreamOff force it. Like SetPooling,
+	// the underlying switch is process-global: a forced setting is
+	// applied for the duration of the run and restored afterwards, so
+	// concurrent executions forcing different modes must be
+	// serialized by the caller (the difftest oracle runs serially).
+	// Results are byte-identical in every mode; only allocation and
+	// wall-clock behavior differ.
+	Streaming StreamMode
 }
 
 // Execute runs one algorithm on a fresh p-server cluster and returns
@@ -335,6 +345,11 @@ func ExecuteTraced(alg Algorithm, in *Instance, p int, rec TraceRecorder) (*Repo
 
 // ExecuteOpts is Execute with full options.
 func ExecuteOpts(alg Algorithm, in *Instance, p int, eo ExecOptions) (*Report, error) {
+	if eo.Streaming != StreamDefault {
+		prev := relation.StreamingEnabled()
+		relation.SetStreaming(eo.Streaming == StreamOn)
+		defer relation.SetStreaming(prev)
+	}
 	var opts []mpc.Option
 	if eo.Recorder != nil {
 		opts = append(opts, mpc.WithRecorder(eo.Recorder))

@@ -49,6 +49,7 @@ type runCfg struct {
 	workers int
 	cache   bool // plan cache AND retained key indexes
 	pool    bool // arena / hash-bucket / send-list recycling
+	stream  bool // streaming iterator execution of relation ops
 }
 
 func (c runCfg) String() string {
@@ -60,7 +61,11 @@ func (c runCfg) String() string {
 	if !c.pool {
 		pool = "pool-off"
 	}
-	return fmt.Sprintf("workers=%d/%s/%s", c.workers, cache, pool)
+	stream := "stream-on"
+	if !c.stream {
+		stream = "stream-off"
+	}
+	return fmt.Sprintf("workers=%d/%s/%s/%s", c.workers, cache, pool, stream)
 }
 
 // tracedRun executes one configuration with a collector attached and
@@ -79,11 +84,16 @@ func tracedRun(t *testing.T, alg coverpack.Algorithm, in *coverpack.Instance, p 
 		coverpack.SetPooling(false)
 		defer coverpack.SetPooling(true)
 	}
+	streaming := coverpack.StreamOff
+	if cfg.stream {
+		streaming = coverpack.StreamOn
+	}
 	col := coverpack.NewTraceCollector()
 	rep, err := coverpack.ExecuteOpts(alg, in, p, coverpack.ExecOptions{
 		Workers:     cfg.workers,
 		Recorder:    col,
 		NoPlanCache: !cfg.cache,
+		Streaming:   streaming,
 	})
 	if err != nil {
 		return nil, nil, nil, err
@@ -114,17 +124,29 @@ func assertRunsAgree(t *testing.T, label string,
 }
 
 // oracleConfigs is the comparison matrix: the reference (sequential,
-// caches off, pools off — the pre-caching, pre-pooling code path)
-// against sequential cache-on plus, per worker count, parallel cache-on
-// and cache-off — each of those with memory recycling on and off.
+// caches off, pools off, streaming off — the pre-caching, pre-pooling,
+// fully materialized code path) against sequential cache-on plus, per
+// worker count, parallel cache-on and cache-off — each of those with
+// memory recycling on and off, and the whole matrix again with
+// streaming iterator execution on. The streaming arms pin the tentpole
+// guarantee: streaming is a pure allocation lever, so every report,
+// span tree, and phase table must match the materialized reference bit
+// for bit.
 func oracleConfigs() []runCfg {
 	var cfgs []runCfg
-	for _, pool := range []bool{true, false} {
-		cfgs = append(cfgs, runCfg{workers: 1, cache: true, pool: pool})
-		for _, w := range oracleWorkerSet() {
-			cfgs = append(cfgs,
-				runCfg{workers: w, cache: true, pool: pool},
-				runCfg{workers: w, cache: false, pool: pool})
+	for _, stream := range []bool{false, true} {
+		for _, pool := range []bool{true, false} {
+			cfgs = append(cfgs, runCfg{workers: 1, cache: true, pool: pool, stream: stream})
+			for _, w := range oracleWorkerSet() {
+				cfgs = append(cfgs,
+					runCfg{workers: w, cache: true, pool: pool, stream: stream},
+					runCfg{workers: w, cache: false, pool: pool, stream: stream})
+			}
+		}
+		// The sequential cache-off/pool-off arm of the opposite stream
+		// mode is not the reference config itself, so compare it too.
+		if stream {
+			cfgs = append(cfgs, runCfg{workers: 1, cache: false, pool: false, stream: true})
 		}
 	}
 	return cfgs
@@ -134,7 +156,7 @@ func oracleConfigs() []runCfg {
 // under each configuration of the matrix.
 func runOracle(t *testing.T, in *coverpack.Instance, p int) {
 	for _, alg := range oracleAlgorithms {
-		seqRep, seqRoot, seqPhases, err := tracedRun(t, alg, in, p, runCfg{workers: 1, cache: false, pool: false})
+		seqRep, seqRoot, seqPhases, err := tracedRun(t, alg, in, p, runCfg{workers: 1, cache: false, pool: false, stream: false})
 		if err != nil {
 			// The algorithm rejects this query class (e.g. AlgTriangle on a
 			// star); nothing to compare.

@@ -15,10 +15,13 @@ import (
 //	parallel {"rows": [{query, algorithm, seq_ns, par_ns}]} → parallel/<query>/<alg>/seq|par
 //	plan     {"rows": [{workload, cache_on_ns, cache_off_ns}]} → plan/<workload>/cacheon|cacheoff
 //	sweep    {"arms": [{sweep, run_workers, ns}]}        → sweep<sweep>/runworkers=<w>
+//	stream   {"streams": [{pipeline, streaming: {ns_per_op}, materialized: {ns_per_op}}]}
+//	         → stream<pipeline>/mode=streaming|materialized
 //
-// The memory and sweep forms line up with live benchmark names
-// (BenchmarkMemDedupe, BenchmarkSweepTable1/runworkers=4) after
-// Normalize; the others compare only against their own kind.
+// The memory, sweep, and stream forms line up with live benchmark
+// names (BenchmarkMemDedupe, BenchmarkSweepTable1/runworkers=4,
+// BenchmarkStreamYannakakisLine3/mode=streaming) after Normalize; the
+// others compare only against their own kind.
 
 type memoryFile struct {
 	Rows map[string]struct {
@@ -51,12 +54,25 @@ type sweepFile struct {
 	} `json:"arms"`
 }
 
+type streamFile struct {
+	Streams []struct {
+		Pipeline  string `json:"pipeline"`
+		Streaming struct {
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"streaming"`
+		Materialized struct {
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"materialized"`
+	} `json:"streams"`
+}
+
 // ParseBenchJSON decodes one committed BENCH_*.json file into entries,
 // sniffing which of the four known schemas it carries.
 func ParseBenchJSON(source string, data []byte) ([]Entry, error) {
 	var probe struct {
-		Rows json.RawMessage `json:"rows"`
-		Arms json.RawMessage `json:"arms"`
+		Rows    json.RawMessage `json:"rows"`
+		Arms    json.RawMessage `json:"arms"`
+		Streams json.RawMessage `json:"streams"`
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
 		return nil, fmt.Errorf("benchdiff: %s: %w", source, err)
@@ -69,6 +85,16 @@ func ParseBenchJSON(source string, data []byte) ([]Entry, error) {
 	}
 	var out []Entry
 	switch {
+	case len(probe.Streams) > 0:
+		var f streamFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, fmt.Errorf("benchdiff: %s: %w", source, err)
+		}
+		for _, s := range f.Streams {
+			base := "stream" + s.Pipeline + "/mode="
+			out = add(out, base+"streaming", s.Streaming.NsPerOp)
+			out = add(out, base+"materialized", s.Materialized.NsPerOp)
+		}
 	case len(probe.Arms) > 0:
 		var f sweepFile
 		if err := json.Unmarshal(data, &f); err != nil {

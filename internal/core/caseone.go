@@ -411,9 +411,15 @@ func (ex *executor) heavyBranch(sub *mpc.Group, alive hypergraph.EdgeSet, vars m
 			nv.Remove(x)
 			nvars[e] = nv
 			ns := relation.NewSchema(nv.Attrs()...)
-			part = sub.Local(part, func(_ int, f *relation.Relation) *relation.Relation {
-				return f.ProjectTo(ns)
-			})
+			if relation.StreamingEnabled() && part.Len() > sub.Size()*relation.StreamCutoff {
+				part = sub.LocalStream(part, func(_ int, it relation.RowIterator) relation.RowIterator {
+					return relation.Project(it, ns)
+				})
+			} else {
+				part = sub.Local(part, func(_ int, f *relation.Relation) *relation.Relation {
+					return f.ProjectTo(ns)
+				})
+			}
 		}
 		nrels[e] = part
 	}
@@ -422,7 +428,7 @@ func (ex *executor) heavyBranch(sub *mpc.Group, alive hypergraph.EdgeSet, vars m
 		if c.Schema().Has(x) {
 			rest := hypergraph.NewVarSet(c.Schema().Attrs()...)
 			rest.Remove(x)
-			nctx = append(nctx, c.SelectEq(x, a).Project(rest.Attrs()...))
+			nctx = append(nctx, c.SelectEqProject(x, a, rest.Attrs()...))
 		} else {
 			nctx = append(nctx, c)
 		}

@@ -93,13 +93,14 @@ func Run(g *mpc.Group, in *relation.Instance, opts Options) (*Result, error) {
 		trace:   opts.Trace,
 	}
 	// Initial state: all edges alive with their full attribute sets,
-	// relations deduplicated and scattered evenly (free initial layout).
+	// relations deduplicated and scattered evenly (free initial layout;
+	// ScatterDedup streams the dedup into the placement).
 	alive := q.AllEdges()
 	vars := make(map[int]hypergraph.VarSet)
 	rels := make(map[int]*mpc.DistRelation)
 	for e := 0; e < q.NumEdges(); e++ {
 		vars[e] = q.EdgeVars(e).Clone()
-		rels[e] = g.Scatter(in.Rel(e).Dedup())
+		rels[e] = g.ScatterDedup(in.Rel(e))
 	}
 	var emitted int64
 	var err error

@@ -58,16 +58,7 @@ func RunLW(g *mpc.Group, in *relation.Instance) (*Result, error) {
 			heavy[a] = make(map[relation.Value]bool)
 			for _, e := range q.EdgesWith(a).Edges() {
 				degs := primitives.Degrees(g, scattered[e], a, cntAttr)
-				rows := g.Gather(g.Local(degs, func(_ int, f *relation.Relation) *relation.Relation {
-					out := relation.New(f.Schema())
-					cp := f.Schema().Pos(cntAttr)
-					for i := 0; i < f.Len(); i++ {
-						if t := f.Row(i); t[cp] > delta {
-							out.Add(t)
-						}
-					}
-					return out
-				}))
+				rows := g.Gather(primitives.HeavyFilter(g, degs, cntAttr, delta))
 				ap := rows.Schema().Pos(a)
 				for i := 0; i < rows.Len(); i++ {
 					heavy[a][rows.Row(i)[ap]] = true

@@ -53,16 +53,7 @@ func heavyValues(g *mpc.Group, in *relation.Instance, threshold int64, countAttr
 			degs := primitives.Degrees(g, scattered[e], a, countAttr)
 			// Keep only heavy rows, then broadcast them (every server
 			// needs the cutoff lists to classify its tuples).
-			hv := g.Local(degs, func(_ int, f *relation.Relation) *relation.Relation {
-				out := relation.New(f.Schema())
-				cp := f.Schema().Pos(countAttr)
-				for i := 0; i < f.Len(); i++ {
-					if t := f.Row(i); t[cp] > threshold {
-						out.Add(t)
-					}
-				}
-				return out
-			})
+			hv := primitives.HeavyFilter(g, degs, countAttr, threshold)
 			all := g.Broadcast(hv)
 			one := all.Frags[0]
 			ap := one.Schema().Pos(a)

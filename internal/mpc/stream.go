@@ -1,0 +1,59 @@
+package mpc
+
+import "coverpack/internal/relation"
+
+// Streaming entry points. Exchanges remain materialization points —
+// every fragment that crosses a communication boundary is a fully
+// materialized Relation, so the per-round received-unit accounting and
+// the recorded traces are identical with streaming on or off. What
+// streams is the free, untraced work around the exchanges: per-server
+// local transforms and the free initial Scatter placement.
+
+// LocalStream is Local with a streaming per-server transform: f
+// receives an iterator over the server's fragment and returns the
+// pipeline to drain; the result is materialized per fragment (the
+// next exchange needs a Relation). Under a parallel cluster the
+// per-server pipelines may run concurrently, so f must be pure like a
+// Local closure.
+func (g *Group) LocalStream(d *DistRelation, f func(server int, it relation.RowIterator) relation.RowIterator) *DistRelation {
+	if len(d.Frags) != g.size {
+		panic("mpc: LocalStream on relation of mismatched group size")
+	}
+	out := &DistRelation{Frags: make([]*relation.Relation, g.size)}
+	run := func(i int) { out.Frags[i] = relation.Materialize(f(i, d.Frags[i].Iter())) }
+	if g.size > 1 && g.parallel(d.Len()) {
+		g.cluster.fork(g.size, run)
+	} else {
+		for i := 0; i < g.size; i++ {
+			run(i)
+		}
+	}
+	out.Schema = out.Frags[g.size-1].Schema()
+	return out
+}
+
+// ScatterDedup scatters the distinct rows of r round-robin over the
+// group — Scatter(r.Dedup()) without materializing the deduplicated
+// intermediate when streaming is on. Placement is identical to the
+// materialized form (row i of the deduplicated order lands on server
+// i mod size), and Scatter stays free and untraced either way.
+func (g *Group) ScatterDedup(r *relation.Relation) *DistRelation {
+	if !relation.StreamingEnabled() {
+		return g.Scatter(r.Dedup())
+	}
+	it := r.DedupIter()
+	d := g.cluster.newDistSized(r.Schema(), g.size, r.Len())
+	i := 0
+	for {
+		c, ok := it.Next()
+		if !ok {
+			break
+		}
+		for j := 0; j < c.Len(); j++ {
+			d.Frags[i%g.size].Add(c.Row(j))
+			i++
+		}
+	}
+	it.Close()
+	return d
+}

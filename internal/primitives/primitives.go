@@ -42,6 +42,19 @@ import (
 // at Õ(input/p + √p).
 func ReduceByKey(g *mpc.Group, d *mpc.DistRelation, keyAttrs []int, valAttr int) *mpc.DistRelation {
 	outSchema := relation.NewSchema(append(append([]int(nil), keyAttrs...), valAttr)...)
+	pre := g.Local(d, func(_ int, f *relation.Relation) *relation.Relation {
+		return localAggregate(f, keyAttrs, valAttr, outSchema)
+	})
+	return reduceAggregated(g, pre, keyAttrs, valAttr, outSchema)
+}
+
+// reduceAggregated is ReduceByKey after the first local pre-aggregation
+// — the exchange tail shared with the callers (Degrees) that produce
+// their pre-aggregated partials in one fused streaming pass. pre must
+// hold at most one row per key per server, under outSchema. The local
+// pre-aggregation emits no trace events, so whether it happens inside
+// or before the span is unobservable.
+func reduceAggregated(g *mpc.Group, pre *mpc.DistRelation, keyAttrs []int, valAttr int, outSchema relation.Schema) *mpc.DistRelation {
 	agg := func(dd *mpc.DistRelation) *mpc.DistRelation {
 		return g.Local(dd, func(_ int, f *relation.Relation) *relation.Relation {
 			return localAggregate(f, keyAttrs, valAttr, outSchema)
@@ -49,7 +62,6 @@ func ReduceByKey(g *mpc.Group, d *mpc.DistRelation, keyAttrs []int, valAttr int)
 	}
 	var out *mpc.DistRelation
 	g.Span("reduce-by-key", func() {
-		pre := agg(d)
 		p := g.Size()
 		if p >= 4 {
 			c := 1
@@ -205,6 +217,40 @@ func Degrees(g *mpc.Group, d *mpc.DistRelation, attr, countAttr int) *mpc.DistRe
 	schema := relation.NewSchema(attr, countAttr)
 	ap := schema.Pos(attr)
 	cp := schema.Pos(countAttr)
+	if relation.StreamingEnabled() {
+		// Fused per-server pass: the (value, 1) projection streams
+		// straight into the pre-aggregation, skipping the withOnes
+		// intermediate arena entirely. Group content and first-seen
+		// order are identical to projecting then aggregating, so the
+		// exchange tail sees byte-identical partials. Fragments under
+		// one chunk take the materialized form of the same fusion
+		// (ones row reused in place) — identical output, no iterator
+		// scaffolding.
+		keyAttrs := []int{attr}
+		pre := g.Local(d, func(_ int, f *relation.Relation) *relation.Relation {
+			if f.Len() == 0 {
+				return relation.New(schema)
+			}
+			sp := f.Schema().Pos(attr)
+			if f.Len() <= relation.StreamCutoff {
+				ones := relation.New(schema)
+				ones.Grow(f.Len())
+				nt := make(relation.Tuple, 2)
+				nt[cp] = 1
+				for i := 0; i < f.Len(); i++ {
+					nt[ap] = f.Row(i)[sp]
+					ones.Add(nt)
+				}
+				return localAggregate(ones, keyAttrs, countAttr, schema)
+			}
+			ones := relation.MapRows(f.Iter(), schema, func(dst, t relation.Tuple) {
+				dst[ap] = t[sp]
+				dst[cp] = 1
+			})
+			return aggregateChunks(ones, keyAttrs, countAttr, schema, f.Len())
+		})
+		return reduceAggregated(g, pre, keyAttrs, countAttr, schema)
+	}
 	withOnes := g.Local(d, func(_ int, f *relation.Relation) *relation.Relation {
 		out := relation.New(schema)
 		if f.Len() == 0 {
@@ -221,6 +267,96 @@ func Degrees(g *mpc.Group, d *mpc.DistRelation, attr, countAttr int) *mpc.DistRe
 		return out
 	})
 	return ReduceByKey(g, withOnes, []int{attr}, countAttr)
+}
+
+// aggregateChunks is localAggregate over a streamed input: it drains
+// the iterator, summing valAttr per key group, and emits one row per
+// group in first-seen order under outSchema. The hash table persists
+// across chunk boundaries, so groups straddling chunks accumulate
+// correctly; output content and order match localAggregate on the
+// materialized equivalent (both enumerate hashtab entries in
+// first-insert order, and the small-fragment linear path is documented
+// as order-identical to the hash path). sizeHint is the caller's row
+// estimate (an upper bound on groups), pre-sizing the table exactly as
+// localAggregate does — growth churn would otherwise eat the arena the
+// fusion saves.
+func aggregateChunks(it relation.RowIterator, keyAttrs []int, valAttr int, outSchema relation.Schema, sizeHint int) *relation.Relation {
+	s := it.Schema()
+	kpos := s.Positions(keyAttrs)
+	vpos := s.Pos(valAttr)
+	groups := hashtab.New(len(kpos), sizeHint)
+	sums := make([]int64, 0, sizeHint)
+	for {
+		c, ok := it.Next()
+		if !ok {
+			break
+		}
+		for i := 0; i < c.Len(); i++ {
+			t := c.Row(i)
+			e, found := groups.Insert(t, kpos)
+			if !found {
+				sums = append(sums, 0)
+			}
+			sums[e] += t[vpos]
+		}
+	}
+	it.Close()
+	out := relation.New(outSchema)
+	// Map each output column to its index in the stored key (or the
+	// sum). Every non-sum output column is a key column, and hashtab
+	// retains the projected key values, so no representative rows need
+	// to outlive their chunks.
+	keyIdx := make([]int, outSchema.Len())
+	for i := range keyIdx {
+		if a := outSchema.Attr(i); a == valAttr {
+			keyIdx[i] = -1
+		} else {
+			for j, k := range keyAttrs {
+				if k == a {
+					keyIdx[i] = j
+					break
+				}
+			}
+		}
+	}
+	out.Grow(groups.Len())
+	nt := make(relation.Tuple, outSchema.Len())
+	for e := 0; e < groups.Len(); e++ {
+		key := groups.Key(e)
+		for i, j := range keyIdx {
+			if j < 0 {
+				nt[i] = sums[e]
+			} else {
+				nt[i] = key[j]
+			}
+		}
+		out.Add(nt)
+	}
+	groups.Release()
+	return out
+}
+
+// HeavyFilter keeps the rows of a degree relation whose countAttr
+// value exceeds threshold — the per-server heavy-value cut every
+// skew-handling algorithm applies after Degrees. With streaming on
+// the filter streams the fragment (no row the consumer would drop is
+// ever copied); off, it is the historical materialized loop. Output
+// fragments are identical either way.
+func HeavyFilter(g *mpc.Group, degs *mpc.DistRelation, countAttr int, threshold int64) *mpc.DistRelation {
+	return g.Local(degs, func(_ int, f *relation.Relation) *relation.Relation {
+		cp := f.Schema().Pos(countAttr)
+		if relation.StreamingEnabled() && f.Len() > relation.StreamCutoff {
+			return relation.Materialize(relation.Filter(f.Iter(),
+				func(t relation.Tuple) bool { return t[cp] > threshold }))
+		}
+		out := relation.New(f.Schema())
+		for i := 0; i < f.Len(); i++ {
+			if t := f.Row(i); t[cp] > threshold {
+				out.Add(t)
+			}
+		}
+		return out
+	})
 }
 
 // SemiJoin filters r to the tuples with a partner in s on their common

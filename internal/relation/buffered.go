@@ -1,0 +1,178 @@
+package relation
+
+import "fmt"
+
+// BufferedIterator makes a single-pass pipeline re-iterable.
+// Constructing one declares that re-iteration may be demanded; the
+// iterator then spills only when its source cannot rewind on its own:
+//
+//   - A Rewindable source ((*Relation).Iter) is delegated to directly —
+//     Rewind is free and nothing is ever retained.
+//   - A computed source (filter/projection/dedup/join pipelines) has
+//     its rows copied into one retained arena as they stream through,
+//     so Rewind can replay them. The arena comes from the cross-run
+//     pool (GetArena) and goes back through the same size classes on
+//     Release — streaming runs leak no arenas (the pool-balance test
+//     pins this via trace.PoolStats).
+//
+// The spill counter and the peak-retained-bytes gauge (streammetrics)
+// record when and how much buffering actually happened.
+type BufferedIterator struct {
+	schema Schema
+	arity  int
+
+	rw Rewindable // non-nil: delegate, never spill
+
+	src       RowIterator // computed source; nil once drained
+	retained  []Value     // pooled spill arena (first pass, in order)
+	rows      int
+	replaying bool
+	replayRow int
+	released  bool
+}
+
+// Buffer wraps src in a BufferedIterator. If src is already
+// Rewindable it is used as-is (no retention); otherwise rows are
+// spilled to a retained arena as the first pass streams them.
+func Buffer(src RowIterator) *BufferedIterator {
+	b := &BufferedIterator{schema: src.Schema(), arity: src.Schema().Len()}
+	if rw, ok := src.(Rewindable); ok {
+		b.rw = rw
+	} else {
+		b.src = src
+	}
+	return b
+}
+
+// Schema returns the schema of the buffered rows.
+func (b *BufferedIterator) Schema() Schema { return b.schema }
+
+// Next yields the next chunk: pass-through (plus retention) on the
+// first pass, replay from the retained arena after a Rewind.
+func (b *BufferedIterator) Next() (Chunk, bool) {
+	if b.released {
+		panic("relation: BufferedIterator used after Release")
+	}
+	if b.rw != nil {
+		return b.rw.Next()
+	}
+	if b.replaying {
+		if b.replayRow >= b.rows {
+			return Chunk{}, false
+		}
+		n := b.rows - b.replayRow
+		if n > streamChunkRows {
+			n = streamChunkRows
+		}
+		var data []Value
+		if b.arity > 0 {
+			data = b.retained[b.replayRow*b.arity : (b.replayRow+n)*b.arity]
+		}
+		b.replayRow += n
+		noteChunk()
+		return Chunk{data: data, arity: b.arity, rows: n}, true
+	}
+	if b.src == nil {
+		return Chunk{}, false
+	}
+	c, ok := b.src.Next()
+	if !ok {
+		b.src.Close()
+		b.src = nil
+		return Chunk{}, false
+	}
+	b.retain(c)
+	return c, ok
+}
+
+// retain appends a chunk's rows to the spill arena, growing through
+// the pool size classes.
+func (b *BufferedIterator) retain(c Chunk) {
+	if b.rows == 0 && c.rows > 0 {
+		noteSpill()
+	}
+	b.rows += c.rows
+	if b.arity == 0 {
+		return
+	}
+	need := len(b.retained) + len(c.data)
+	if need > cap(b.retained) {
+		newCap := 2 * cap(b.retained)
+		if newCap < need {
+			newCap = need
+		}
+		if newCap < streamChunkRows*b.arity {
+			newCap = streamChunkRows * b.arity
+		}
+		grown := GetArena(newCap)[:len(b.retained)]
+		copy(grown, b.retained)
+		PutArena(b.retained[:0])
+		b.retained = grown
+		noteRetained(uint64(cap(b.retained)) * 8)
+	}
+	b.retained = append(b.retained, c.data...)
+}
+
+// Rewind resets the iterator to the first row. A rewindable source
+// rewinds in place; a computed source is first drained into the
+// retained arena (if the first pass stopped early), then replayed.
+func (b *BufferedIterator) Rewind() {
+	if b.released {
+		panic("relation: BufferedIterator used after Release")
+	}
+	if b.rw != nil {
+		b.rw.Rewind()
+		return
+	}
+	for b.src != nil {
+		c, ok := b.src.Next()
+		if !ok {
+			b.src.Close()
+			b.src = nil
+			break
+		}
+		b.retain(c)
+	}
+	b.replaying = true
+	b.replayRow = 0
+}
+
+// Release returns the retained arena to the pool and closes the
+// source. The iterator must not be used afterwards. Idempotent.
+func (b *BufferedIterator) Release() {
+	if b.released {
+		return
+	}
+	b.released = true
+	if b.rw != nil {
+		b.rw.Close()
+		b.rw = nil
+		return
+	}
+	if b.src != nil {
+		b.src.Close()
+		b.src = nil
+	}
+	PutArena(b.retained[:0])
+	b.retained = nil
+}
+
+// Close implements RowIterator by releasing (see Release).
+func (b *BufferedIterator) Close() { b.Release() }
+
+// Retained reports how many rows the spill arena currently holds (0
+// for rewindable sources) — a test and diagnostics accessor.
+func (b *BufferedIterator) Retained() int {
+	if b.rw != nil {
+		return 0
+	}
+	return b.rows
+}
+
+// String aids debugging.
+func (b *BufferedIterator) String() string {
+	if b.rw != nil {
+		return fmt.Sprintf("BufferedIterator%v(rewindable)", b.schema)
+	}
+	return fmt.Sprintf("BufferedIterator%v(%d rows retained)", b.schema, b.rows)
+}

@@ -43,10 +43,11 @@ func Run(g *mpc.Group, in *relation.Instance) (*Result, error) {
 	}
 
 	// Scatter and semi-join reduce (removes dangling tuples in O(1)
-	// rounds with load O(N/p) + key-skew).
+	// rounds with load O(N/p) + key-skew). ScatterDedup streams the
+	// dedup straight into the free initial placement.
 	rels := make([]*mpc.DistRelation, q.NumEdges())
 	for e := range rels {
-		rels[e] = g.Scatter(in.Rel(e).Dedup())
+		rels[e] = g.ScatterDedup(in.Rel(e))
 	}
 	rels = primitives.SemiJoinReduceTree(g, rels, children, tree.Roots())
 

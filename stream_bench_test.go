@@ -1,0 +1,155 @@
+// Streaming-execution benchmarks: the same Table 1 pipelines run with
+// streaming iterator execution forced on and forced off, so
+// `go test -bench=Stream` shows what the iterator layer buys (fewer
+// intermediate materializations → fewer allocations) and that it costs
+// nothing when it doesn't win. `go test -run TestBenchStreamJSON
+// -benchjson` writes BENCH_stream.json with allocs/op, bytes/op and
+// ns/op per mode plus the reduction ratios — measured at whatever
+// GOMAXPROCS the run uses (the committed file is generated with
+// GOMAXPROCS=1 so allocs/op are deterministic).
+package coverpack_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"coverpack"
+	"coverpack/internal/hypergraph"
+)
+
+// streamPipelines are the benchmarked (pipeline, algorithm, instance)
+// cells. Each exercises a different streaming substitution:
+// Yannakakis dedups every relation before scattering (ScatterDedup),
+// the skew-aware one-round algorithm runs the fused Degrees
+// pre-aggregation and HeavyFilter, and the triangle algorithm adds the
+// per-heavy-value SelectEqProject residual construction.
+type streamPipeline struct {
+	name string
+	alg  coverpack.Algorithm
+	in   *coverpack.Instance
+	p    int
+}
+
+func streamPipelines() []streamPipeline {
+	return []streamPipeline{
+		// Names normalize to the live sub-benchmark names below
+		// (benchdiff compares "streamyannakakis-line3/mode=streaming"
+		// from the JSON against BenchmarkStreamYannakakisLine3/...).
+		{"yannakakis-line3", coverpack.AlgYannakakis,
+			coverpack.Uniform(hypergraph.Line3Join(), 6000, 3000, 3), 16},
+		{"skewaware-stardual3", coverpack.AlgSkewAware,
+			coverpack.HeavyHub(hypergraph.StarDualJoin(3), 8000), 8},
+		{"triangle-heavyhub", coverpack.AlgTriangle,
+			coverpack.HeavyHub(hypergraph.TriangleJoin(), 6000), 8},
+	}
+}
+
+func benchStreamRun(b *testing.B, pl streamPipeline, mode coverpack.StreamMode) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := coverpack.ExecuteOpts(pl.alg, pl.in, pl.p, coverpack.ExecOptions{Streaming: mode}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchStream(b *testing.B, pl streamPipeline) {
+	b.Run("mode=streaming", func(b *testing.B) { benchStreamRun(b, pl, coverpack.StreamOn) })
+	b.Run("mode=materialized", func(b *testing.B) { benchStreamRun(b, pl, coverpack.StreamOff) })
+}
+
+func BenchmarkStreamYannakakisLine3(b *testing.B)    { benchStream(b, streamPipelines()[0]) }
+func BenchmarkStreamSkewAwareStardual3(b *testing.B) { benchStream(b, streamPipelines()[1]) }
+func BenchmarkStreamTriangleHeavyhub(b *testing.B)   { benchStream(b, streamPipelines()[2]) }
+
+// streamModeRow is one mode's measured profile.
+type streamModeRow struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// TestBenchStreamJSON measures every pipeline in both modes and writes
+// BENCH_stream.json. Before timing anything it asserts the two modes
+// produce identical reports (the difftest oracle pins the full trace;
+// this is the cheap guard inside the bench harness itself).
+// Run with: GOMAXPROCS=1 go test -run TestBenchStreamJSON -benchjson
+func TestBenchStreamJSON(t *testing.T) {
+	if !*benchJSON {
+		t.Skip("pass -benchjson to measure streaming-vs-materialized and write BENCH_stream.json")
+	}
+	type outRow struct {
+		Pipeline         string        `json:"pipeline"`
+		Streaming        streamModeRow `json:"streaming"`
+		Materialized     streamModeRow `json:"materialized"`
+		AllocReduction   float64       `json:"alloc_reduction_x"`
+		BytesReduction   float64       `json:"bytes_reduction_x"`
+		StreamChunks     uint64        `json:"stream_chunks"`
+		PeakRetainedByte uint64        `json:"peak_retained_bytes"`
+	}
+	out := struct {
+		NumCPU  int      `json:"numcpu"`
+		Streams []outRow `json:"streams"`
+	}{NumCPU: runtime.NumCPU()}
+
+	for _, pl := range streamPipelines() {
+		pl := pl
+		on, err := coverpack.ExecuteOpts(pl.alg, pl.in, pl.p, coverpack.ExecOptions{Streaming: coverpack.StreamOn})
+		if err != nil {
+			t.Fatalf("%s streaming: %v", pl.name, err)
+		}
+		off, err := coverpack.ExecuteOpts(pl.alg, pl.in, pl.p, coverpack.ExecOptions{Streaming: coverpack.StreamOff})
+		if err != nil {
+			t.Fatalf("%s materialized: %v", pl.name, err)
+		}
+		onR, offR := *on, *off
+		onR.Stats.SeqFallback, offR.Stats.SeqFallback = false, false
+		if onR != offR {
+			t.Fatalf("%s: streaming and materialized reports diverge:\n  on:  %+v\n  off: %+v", pl.name, onR, offR)
+		}
+
+		coverpack.ResetStreamStats()
+		sres := testing.Benchmark(func(b *testing.B) { benchStreamRun(b, pl, coverpack.StreamOn) })
+		sc := coverpack.StreamStats()
+		mres := testing.Benchmark(func(b *testing.B) { benchStreamRun(b, pl, coverpack.StreamOff) })
+
+		row := outRow{
+			Pipeline: pl.name,
+			Streaming: streamModeRow{
+				NsPerOp:     float64(sres.NsPerOp()),
+				AllocsPerOp: sres.AllocsPerOp(),
+				BytesPerOp:  sres.AllocedBytesPerOp(),
+			},
+			Materialized: streamModeRow{
+				NsPerOp:     float64(mres.NsPerOp()),
+				AllocsPerOp: mres.AllocsPerOp(),
+				BytesPerOp:  mres.AllocedBytesPerOp(),
+			},
+			StreamChunks:     sc.Chunks,
+			PeakRetainedByte: sc.PeakRetainedBytes,
+		}
+		if row.Streaming.AllocsPerOp > 0 {
+			row.AllocReduction = float64(row.Materialized.AllocsPerOp) / float64(row.Streaming.AllocsPerOp)
+		}
+		if row.Streaming.BytesPerOp > 0 {
+			row.BytesReduction = float64(row.Materialized.BytesPerOp) / float64(row.Streaming.BytesPerOp)
+		}
+		out.Streams = append(out.Streams, row)
+		t.Logf("%-22s streaming %8d allocs/op %10d B/op | materialized %8d allocs/op %10d B/op (%.2fx allocs, %.2fx bytes)",
+			pl.name, row.Streaming.AllocsPerOp, row.Streaming.BytesPerOp,
+			row.Materialized.AllocsPerOp, row.Materialized.BytesPerOp,
+			row.AllocReduction, row.BytesReduction)
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_stream.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_stream.json")
+}

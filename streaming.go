@@ -1,0 +1,47 @@
+package coverpack
+
+import "coverpack/internal/relation"
+
+// This file re-exports the streaming-execution layer: relation
+// operators composed as arena-chunk iterators instead of one fully
+// materialized arena per operator. Streaming is a pure
+// allocation/wall-clock lever — exchanges remain materialization
+// points, so loads, traces, phase tables and sweep tables are
+// byte-identical with streaming on or off (the difftest oracle runs
+// the full matrix both ways to pin it).
+
+// SetStreaming toggles streaming iterator execution process-wide.
+// Off, every gated composition runs the historical materialized
+// operators — the pre-streaming code path. Streaming is on by
+// default; the switch mirrors SetPooling.
+func SetStreaming(on bool) { relation.SetStreaming(on) }
+
+// StreamingEnabled reports whether streaming execution is active.
+func StreamingEnabled() bool { return relation.StreamingEnabled() }
+
+// StreamCounters snapshots the streaming diagnostics: chunks yielded,
+// buffered-iterator spills, and the peak retained-arena high-water
+// mark. Diagnostics only — never part of a measured result.
+type StreamCounters = relation.StreamCounters
+
+// StreamStats snapshots the streaming counters.
+func StreamStats() StreamCounters { return relation.StreamStats() }
+
+// ResetStreamStats zeroes the streaming counters (test and benchmark
+// seam).
+func ResetStreamStats() { relation.ResetStreamStats() }
+
+// StreamMode selects the streaming behavior of one execution (see
+// ExecOptions.Streaming).
+type StreamMode int
+
+const (
+	// StreamDefault follows the process-wide switch (on unless
+	// SetStreaming(false) was called). The zero value, so plain
+	// ExecOptions literals keep streaming on by default.
+	StreamDefault StreamMode = iota
+	// StreamOn forces streaming execution for the run.
+	StreamOn
+	// StreamOff forces the materialized operator path for the run.
+	StreamOff
+)
