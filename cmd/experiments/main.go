@@ -30,6 +30,8 @@ func main() {
 	workers := flag.Int("workers", 0, "goroutine workers INSIDE one simulated run (0 = GOMAXPROCS, 1 = sequential); independent of -parallel — the two multiply; tables are identical for every setting")
 	parallel := flag.Int("parallel", 1, "run-level sweep workers: how many experiment cells (independent simulator runs) execute concurrently (0 = GOMAXPROCS); tables are identical for every setting")
 	memBudget := flag.Int64("membudget", 0, "admission budget in total tuples resident across in-flight cells (0 = default, negative = unlimited)")
+	spillDir := flag.String("spill-dir", "", "arm every simulator cell with an out-of-core form spilling arena segments under this directory; the memory gate places cells spilled instead of delaying them (tables are byte-identical either way)")
+	spillBudget := flag.Int64("mem-budget", 0, "resident-byte budget of one spilled run (0 = 64 MiB default); requires -spill-dir")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (e.g. 127.0.0.1:9190; \":0\" picks a free port)")
@@ -57,7 +59,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: warning: -workers(%d) × -parallel(%d) = %d goroutines exceeds %d CPUs; oversubscription adds scheduling overhead without extra speedup\n",
 			nw, np, product, runtime.NumCPU())
 	}
-	cfg := experiments.Config{Small: *small, Workers: nw, RunWorkers: np, MemBudget: *memBudget}
+	cfg := experiments.Config{Small: *small, Workers: nw, RunWorkers: np, MemBudget: *memBudget,
+		SpillDir: *spillDir, SpillBudget: *spillBudget}
 
 	if *debugAddr != "" {
 		srv, err := coverpack.StartDebugServer(*debugAddr)
@@ -126,6 +129,14 @@ func main() {
 		printTable(t)
 	}
 	fmt.Printf("wall-clock %s (run-workers=%d × intra-run workers=%d of %d CPUs)\n", elapsed.Round(time.Millisecond), np, nw, runtime.NumCPU())
+
+	// Spill I/O is diagnostics, never a table artifact: print it to
+	// stderr so stdout stays byte-identical with spilling on or off.
+	if *spillDir != "" {
+		sc := coverpack.SpillStats()
+		fmt.Fprintf(os.Stderr, "experiments: spill parks=%d pageins=%d segments=%d written=%dB read=%dB held=%dB\n",
+			sc.Parks, sc.PageIns, sc.SegmentsWritten, sc.BytesWritten, sc.BytesRead, sc.HeldBytes)
+	}
 
 	if *traceFile != "" {
 		if err := captureTrace(sub, cfg, *traceFile, *traceFormat); err != nil {

@@ -33,6 +33,8 @@ func main() {
 		traceFile = flag.String("trace", "", "write an execution trace to this file")
 		traceFmt  = flag.String("trace-format", "chrome", "trace rendering: jsonl, chrome, or heatmap")
 		workers   = flag.Int("workers", 0, "goroutine workers INSIDE the simulated run (0 = GOMAXPROCS, 1 = sequential); results are identical for every setting")
+		spillDir  = flag.String("spill-dir", "", "run out-of-core: park exchange-output arenas to segment files under this directory when resident bytes exceed -mem-budget (results are byte-identical either way)")
+		memBudget = flag.Int64("mem-budget", 0, "resident-byte budget before arenas spill (0 = 64 MiB default); requires -spill-dir")
 		parallel  = flag.Int("parallel", 1, "repeat the run this many times concurrently through the run-level scheduler and require identical reports (determinism stress mode)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -116,13 +118,18 @@ func main() {
 		}
 	}()
 
+	eo := coverpack.ExecOptions{Workers: nw, Recorder: rec,
+		SpillDir: *spillDir, SpillBudgetBytes: *memBudget}
+	if *spillDir != "" {
+		eo.Spilling = coverpack.SpillOn
+	}
 	start := time.Now()
 	var rep *coverpack.Report
 	var err2 error
 	if reps == 1 {
-		rep, err2 = coverpack.ExecuteOpts(alg, in, *p, coverpack.ExecOptions{Workers: nw, Recorder: rec})
+		rep, err2 = coverpack.ExecuteOpts(alg, in, *p, eo)
 	} else {
-		rep, err2 = runRepeated(alg, in, *p, nw, reps, rec)
+		rep, err2 = runRepeated(alg, in, *p, reps, eo)
 	}
 	elapsed := time.Since(start)
 	if err2 != nil {
@@ -165,26 +172,31 @@ func main() {
 	fmt.Printf("emitted     %d join results\n", rep.Emitted)
 	fmt.Printf("cost        %s\n", rep.Stats)
 	fmt.Printf("wall-clock  %s  (workers=%d of %d CPUs)\n", elapsed.Round(time.Microsecond), nw, runtime.NumCPU())
+	if *spillDir != "" {
+		sc := coverpack.SpillStats()
+		fmt.Printf("spill       parks=%d pageins=%d segments=%d written=%dB read=%dB\n",
+			sc.Parks, sc.PageIns, sc.SegmentsWritten, sc.BytesWritten, sc.BytesRead)
+	}
 }
 
 // runRepeated executes the same join reps times concurrently through
 // the run-level scheduler and requires every repetition to produce the
 // identical report — a CLI-reachable determinism stress test. The trace
 // recorder, if any, is attached to the first repetition only.
-func runRepeated(alg coverpack.Algorithm, in *coverpack.Instance, p, workers, reps int, rec coverpack.TraceRecorder) (*coverpack.Report, error) {
+func runRepeated(alg coverpack.Algorithm, in *coverpack.Instance, p, reps int, eo coverpack.ExecOptions) (*coverpack.Report, error) {
 	out := make([]*coverpack.Report, reps)
 	cells := make([]sched.Cell, reps)
 	for i := range cells {
 		i := i
-		r := coverpack.TraceRecorder(nil)
-		if i == 0 {
-			r = rec
+		ceo := eo
+		if i != 0 {
+			ceo.Recorder = nil
 		}
 		cells[i] = sched.Cell{
 			Key:  fmt.Sprintf("rep%d", i),
 			Cost: int64(in.TotalTuples()),
 			Run: func() error {
-				rep, err := coverpack.ExecuteOpts(alg, in, p, coverpack.ExecOptions{Workers: workers, Recorder: r})
+				rep, err := coverpack.ExecuteOpts(alg, in, p, ceo)
 				out[i] = rep
 				return err
 			},

@@ -27,6 +27,7 @@ package coverpack
 import (
 	"fmt"
 	"math/big"
+	"os"
 	"sync"
 	"sync/atomic"
 
@@ -329,6 +330,22 @@ type ExecOptions struct {
 	// Results are byte-identical in every mode; only allocation and
 	// wall-clock behavior differ.
 	Streaming StreamMode
+	// Spilling selects out-of-core execution for the run: SpillDefault
+	// (the zero value) engages spilling only when SpillDir or the
+	// process-wide SetSpillDir names a directory; SpillOn forces it
+	// (falling back to os.TempDir()); SpillOff keeps the run fully
+	// resident. Like Streaming, results are byte-identical in every
+	// mode — spilling moves bytes between memory and disk, never
+	// changes what a run computes.
+	Spilling SpillMode
+	// SpillDir is the directory for this run's arena segment files; the
+	// cluster creates (and on Release removes) a private subdirectory
+	// under it.
+	SpillDir string
+	// SpillBudgetBytes caps the resident bytes of exchange outputs
+	// before the placement policy parks arenas to disk; 0 selects
+	// DefaultSpillBudgetBytes.
+	SpillBudgetBytes int64
 }
 
 // Execute runs one algorithm on a fresh p-server cluster and returns
@@ -360,6 +377,7 @@ func ExecuteOpts(alg Algorithm, in *Instance, p int, eo ExecOptions) (*Report, e
 	if eo.NoPlanCache {
 		opts = append(opts, mpc.WithPlanCache(false))
 	}
+	opts = append(opts, spillOptions(eo, os.TempDir)...)
 	c := mpc.NewCluster(p, opts...)
 	// The Report carries only scalars, so every exchange-produced
 	// relation is dead once Stats is read: recycle the cluster's arenas

@@ -80,6 +80,42 @@ func TestParseStreamBenchJSON(t *testing.T) {
 	}
 }
 
+func TestParseSpillBenchJSON(t *testing.T) {
+	fixture := []byte(`{
+		"numcpu": 1,
+		"budget_bytes": 16384,
+		"spills": [
+			{
+				"pipeline": "triangle-heavyhub",
+				"spilled":  {"ns_per_op": 150000000, "allocs_per_op": 9000, "bytes_per_op": 33000000},
+				"resident": {"ns_per_op": 15000000, "allocs_per_op": 8000, "bytes_per_op": 31000000},
+				"slowdown_x": 10.0,
+				"parks": 2400,
+				"pageins": 1100,
+				"spill_bytes_written": 32000000,
+				"spill_bytes_read": 30000000,
+				"retained_peak_bytes": 16000
+			}
+		]
+	}`)
+	es, err := ParseBenchJSON("fixture", fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 2 {
+		t.Fatalf("got %d entries, want 2: %+v", len(es), es)
+	}
+	if es[0].Name != "spilltriangleheavyhub/mode=spilled" || es[0].NsPerOp != 150000000 {
+		t.Errorf("entry 0 = %+v", es[0])
+	}
+	if es[1].Name != "spilltriangleheavyhub/mode=resident" || es[1].NsPerOp != 15000000 {
+		t.Errorf("entry 1 = %+v", es[1])
+	}
+	if live := Normalize("BenchmarkSpillTriangleHeavyhub/mode=spilled-4"); live != es[0].Name {
+		t.Errorf("live benchmark normalizes to %q, JSON entry is %q", live, es[0].Name)
+	}
+}
+
 // The committed BENCH_*.json schemas must all decode.
 func TestParseCommittedBenchJSON(t *testing.T) {
 	root := "../.."

@@ -6,10 +6,9 @@ import (
 	"strconv"
 )
 
-// Adapters for the repo's committed BENCH_*.json files. The four files
-// were written by different bench harnesses and carry different
-// schemas; ParseBenchJSON sniffs the shape and emits normalized
-// entries:
+// Adapters for the repo's committed BENCH_*.json files. The files were
+// written by different bench harnesses and carry different schemas;
+// ParseBenchJSON sniffs the shape and emits normalized entries:
 //
 //	memory   {"rows": {"dedupe": {"ns_per_op": N}}}      → mem<name>
 //	parallel {"rows": [{query, algorithm, seq_ns, par_ns}]} → parallel/<query>/<alg>/seq|par
@@ -17,10 +16,13 @@ import (
 //	sweep    {"arms": [{sweep, run_workers, ns}]}        → sweep<sweep>/runworkers=<w>
 //	stream   {"streams": [{pipeline, streaming: {ns_per_op}, materialized: {ns_per_op}}]}
 //	         → stream<pipeline>/mode=streaming|materialized
+//	spill    {"spills": [{pipeline, spilled: {ns_per_op}, resident: {ns_per_op}}]}
+//	         → spill<pipeline>/mode=spilled|resident
 //
-// The memory, sweep, and stream forms line up with live benchmark
-// names (BenchmarkMemDedupe, BenchmarkSweepTable1/runworkers=4,
-// BenchmarkStreamYannakakisLine3/mode=streaming) after Normalize; the
+// The memory, sweep, stream, and spill forms line up with live
+// benchmark names (BenchmarkMemDedupe, BenchmarkSweepTable1/runworkers=4,
+// BenchmarkStreamYannakakisLine3/mode=streaming,
+// BenchmarkSpillTriangleHeavyhub/mode=spilled) after Normalize; the
 // others compare only against their own kind.
 
 type memoryFile struct {
@@ -54,6 +56,18 @@ type sweepFile struct {
 	} `json:"arms"`
 }
 
+type spillFile struct {
+	Spills []struct {
+		Pipeline string `json:"pipeline"`
+		Spilled  struct {
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"spilled"`
+		Resident struct {
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"resident"`
+	} `json:"spills"`
+}
+
 type streamFile struct {
 	Streams []struct {
 		Pipeline  string `json:"pipeline"`
@@ -67,12 +81,13 @@ type streamFile struct {
 }
 
 // ParseBenchJSON decodes one committed BENCH_*.json file into entries,
-// sniffing which of the four known schemas it carries.
+// sniffing which of the known schemas it carries.
 func ParseBenchJSON(source string, data []byte) ([]Entry, error) {
 	var probe struct {
 		Rows    json.RawMessage `json:"rows"`
 		Arms    json.RawMessage `json:"arms"`
 		Streams json.RawMessage `json:"streams"`
+		Spills  json.RawMessage `json:"spills"`
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
 		return nil, fmt.Errorf("benchdiff: %s: %w", source, err)
@@ -85,6 +100,16 @@ func ParseBenchJSON(source string, data []byte) ([]Entry, error) {
 	}
 	var out []Entry
 	switch {
+	case len(probe.Spills) > 0:
+		var f spillFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, fmt.Errorf("benchdiff: %s: %w", source, err)
+		}
+		for _, s := range f.Spills {
+			base := "spill" + s.Pipeline + "/mode="
+			out = add(out, base+"spilled", s.Spilled.NsPerOp)
+			out = add(out, base+"resident", s.Resident.NsPerOp)
+		}
 	case len(probe.Streams) > 0:
 		var f streamFile
 		if err := json.Unmarshal(data, &f); err != nil {
@@ -139,7 +164,7 @@ func ParseBenchJSON(source string, data []byte) ([]Entry, error) {
 			}
 		}
 	default:
-		return nil, fmt.Errorf("benchdiff: %s: unrecognized schema (no rows or arms)", source)
+		return nil, fmt.Errorf("benchdiff: %s: unrecognized schema (no rows, arms, streams, or spills)", source)
 	}
 	return out, nil
 }

@@ -56,6 +56,16 @@ type Config struct {
 	// big AGM instances count more — of concurrently admitted cells.
 	// 0 selects DefaultMemBudget; negative disables the gate.
 	MemBudget int64
+	// SpillDir, when non-empty, arms every simulator cell with a
+	// spilled execution form: the memory gate may place the cell
+	// out-of-core (exchange outputs parked to arena segments under this
+	// directory, resident bytes bounded by SpillBudget) instead of
+	// delaying its admission. Every table is byte-identical with or
+	// without spilling — placement moves bytes, never results.
+	SpillDir string
+	// SpillBudget is the per-run resident-byte budget of a spilled
+	// cell; 0 selects coverpack.DefaultSpillBudgetBytes.
+	SpillBudget int64
 }
 
 // DefaultMemBudget is the admission-gate default: the summed input
@@ -71,9 +81,20 @@ func (c Config) pick(small, big int) int {
 	return big
 }
 
-// eo is the ExecOptions shared by every execution of the config.
+// eo is the ExecOptions shared by every execution of the config. It
+// pins Spilling off so the resident form stays the historical code
+// path even when a process-wide spill directory is set.
 func (c Config) eo() coverpack.ExecOptions {
-	return coverpack.ExecOptions{Workers: c.Workers}
+	return coverpack.ExecOptions{Workers: c.Workers, Spilling: coverpack.SpillOff}
+}
+
+// spillEO is eo with the config's out-of-core placement applied.
+func (c Config) spillEO() coverpack.ExecOptions {
+	e := c.eo()
+	e.Spilling = coverpack.SpillOn
+	e.SpillDir = c.SpillDir
+	e.SpillBudgetBytes = c.SpillBudget
+	return e
 }
 
 // schedOpts maps the config onto scheduler options.
@@ -97,6 +118,30 @@ func runCells(cfg Config, cells []sched.Cell) error {
 
 // cellCost is the admission-gate weight of a cell running on in.
 func cellCost(in *coverpack.Instance) int64 { return int64(in.TotalTuples()) }
+
+// execCell builds the scheduler cell for one simulator run: alg on in
+// at p servers, report delivered through put (a caller-owned slot).
+// When the config names a SpillDir the cell also carries its spilled
+// execution form, so the memory gate can place it out-of-core (at the
+// default spilled admission weight) instead of delaying it. Both forms
+// produce byte-identical reports.
+func execCell(cfg Config, key string, alg coverpack.Algorithm, in *coverpack.Instance, p int, put func(*coverpack.Report)) sched.Cell {
+	run := func(eo coverpack.ExecOptions) func() error {
+		return func() error {
+			rep, err := coverpack.ExecuteOpts(alg, in, p, eo)
+			if err != nil {
+				return err
+			}
+			put(rep)
+			return nil
+		}
+	}
+	cell := sched.Cell{Key: key, Cost: cellCost(in), Run: run(cfg.eo())}
+	if cfg.SpillDir != "" {
+		cell.SpillRun = run(cfg.spillEO())
+	}
+	return cell
+}
 
 func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
 func itoa(v int) string   { return fmt.Sprintf("%d", v) }
@@ -142,18 +187,11 @@ func Table1(cfg Config) ([]Table, error) {
 		reps[ri] = make([]*coverpack.Report, len(ps))
 		r := rows[ri]
 		for pi, p := range ps {
-			cells = append(cells, sched.Cell{
-				Key:  fmt.Sprintf("table1/%s/%s/p%d", r.q.Name(), r.alg, p),
-				Cost: cellCost(r.in),
-				Run: func() error {
-					rep, err := coverpack.ExecuteOpts(r.alg, r.in, p, cfg.eo())
-					if err != nil {
-						return err
-					}
-					reps[ri][pi] = rep
-					return nil
-				},
-			})
+			ri, pi := ri, pi
+			cells = append(cells, execCell(cfg,
+				fmt.Sprintf("table1/%s/%s/p%d", r.q.Name(), r.alg, p),
+				r.alg, r.in, p,
+				func(rep *coverpack.Report) { reps[ri][pi] = rep }))
 		}
 	}
 	if err := runCells(cfg, cells); err != nil {
@@ -226,18 +264,11 @@ func binaryJoinRows(cfg Config) (Table, error) {
 	loads := make([]int, len(ps))
 	cells := make([]sched.Cell, len(ps))
 	for pi, p := range ps {
-		cells[pi] = sched.Cell{
-			Key:  fmt.Sprintf("table1/triangle-agm/p%d", p),
-			Cost: cellCost(in),
-			Run: func() error {
-				rep, err := coverpack.ExecuteOpts(coverpack.AlgTriangle, in, p, cfg.eo())
-				if err != nil {
-					return err
-				}
-				loads[pi] = rep.Stats.MaxLoad
-				return nil
-			},
-		}
+		pi := pi
+		cells[pi] = execCell(cfg,
+			fmt.Sprintf("table1/triangle-agm/p%d", p),
+			coverpack.AlgTriangle, in, p,
+			func(rep *coverpack.Report) { loads[pi] = rep.Stats.MaxLoad })
 	}
 	if err := runCells(cfg, cells); err != nil {
 		return Table{}, err
@@ -407,31 +438,14 @@ func Figure4(cfg Config) (Table, error) {
 	res := make([]pair, len(ps))
 	var cells []sched.Cell
 	for pi, p := range ps {
+		pi := pi
 		cells = append(cells,
-			sched.Cell{
-				Key:  fmt.Sprintf("figure4/conservative/p%d", p),
-				Cost: cellCost(in),
-				Run: func() error {
-					r, err := coverpack.ExecuteOpts(coverpack.AlgAcyclicConservative, in, p, cfg.eo())
-					if err != nil {
-						return err
-					}
-					res[pi].cons = r
-					return nil
-				},
-			},
-			sched.Cell{
-				Key:  fmt.Sprintf("figure4/optimal/p%d", p),
-				Cost: cellCost(in),
-				Run: func() error {
-					r, err := coverpack.ExecuteOpts(coverpack.AlgAcyclicOptimal, in, p, cfg.eo())
-					if err != nil {
-						return err
-					}
-					res[pi].opt = r
-					return nil
-				},
-			},
+			execCell(cfg, fmt.Sprintf("figure4/conservative/p%d", p),
+				coverpack.AlgAcyclicConservative, in, p,
+				func(r *coverpack.Report) { res[pi].cons = r }),
+			execCell(cfg, fmt.Sprintf("figure4/optimal/p%d", p),
+				coverpack.AlgAcyclicOptimal, in, p,
+				func(r *coverpack.Report) { res[pi].opt = r }),
 		)
 	}
 	if err := runCells(cfg, cells); err != nil {
@@ -501,31 +515,14 @@ func Figure6(cfg Config) (Table, error) {
 	res := make([]pair, len(ps))
 	var cells []sched.Cell
 	for pi, p := range ps {
+		pi := pi
 		cells = append(cells,
-			sched.Cell{
-				Key:  fmt.Sprintf("figure6/optimal/p%d", p),
-				Cost: cellCost(in),
-				Run: func() error {
-					r, err := coverpack.ExecuteOpts(coverpack.AlgAcyclicOptimal, in, p, cfg.eo())
-					if err != nil {
-						return err
-					}
-					res[pi].opt = r
-					return nil
-				},
-			},
-			sched.Cell{
-				Key:  fmt.Sprintf("figure6/hypercube/p%d", p),
-				Cost: cellCost(in),
-				Run: func() error {
-					r, err := coverpack.ExecuteOpts(coverpack.AlgHyperCube, in, p, cfg.eo())
-					if err != nil {
-						return err
-					}
-					res[pi].hc = r
-					return nil
-				},
-			},
+			execCell(cfg, fmt.Sprintf("figure6/optimal/p%d", p),
+				coverpack.AlgAcyclicOptimal, in, p,
+				func(r *coverpack.Report) { res[pi].opt = r }),
+			execCell(cfg, fmt.Sprintf("figure6/hypercube/p%d", p),
+				coverpack.AlgHyperCube, in, p,
+				func(r *coverpack.Report) { res[pi].hc = r }),
 		)
 	}
 	if err := runCells(cfg, cells); err != nil {
@@ -617,31 +614,14 @@ func Section13(cfg Config) (Table, error) {
 	for ti, tc := range tcs {
 		res[ti] = make([]pair, len(ps))
 		for pi, p := range ps {
+			ti, pi := ti, pi
 			cells = append(cells,
-				sched.Cell{
-					Key:  fmt.Sprintf("section13/%s/one-round/p%d", tc.q.Name(), p),
-					Cost: cellCost(tc.in),
-					Run: func() error {
-						r, err := coverpack.ExecuteOpts(coverpack.AlgSkewAware, tc.in, p, cfg.eo())
-						if err != nil {
-							return err
-						}
-						res[ti][pi].one = r
-						return nil
-					},
-				},
-				sched.Cell{
-					Key:  fmt.Sprintf("section13/%s/multi-round/p%d", tc.q.Name(), p),
-					Cost: cellCost(tc.in),
-					Run: func() error {
-						r, err := coverpack.ExecuteOpts(coverpack.AlgAcyclicOptimal, tc.in, p, cfg.eo())
-						if err != nil {
-							return err
-						}
-						res[ti][pi].multi = r
-						return nil
-					},
-				},
+				execCell(cfg, fmt.Sprintf("section13/%s/one-round/p%d", tc.q.Name(), p),
+					coverpack.AlgSkewAware, tc.in, p,
+					func(r *coverpack.Report) { res[ti][pi].one = r }),
+				execCell(cfg, fmt.Sprintf("section13/%s/multi-round/p%d", tc.q.Name(), p),
+					coverpack.AlgAcyclicOptimal, tc.in, p,
+					func(r *coverpack.Report) { res[ti][pi].multi = r }),
 			)
 		}
 	}
@@ -687,18 +667,11 @@ func EMCorollary(cfg Config) (Table, error) {
 	reps := make([]*coverpack.Report, len(ps))
 	cells := make([]sched.Cell, len(ps))
 	for pi, p := range ps {
-		cells[pi] = sched.Cell{
-			Key:  fmt.Sprintf("em/line3-agm/p%d", p),
-			Cost: cellCost(in),
-			Run: func() error {
-				rep, err := coverpack.ExecuteOpts(coverpack.AlgAcyclicOptimal, in, p, cfg.eo())
-				if err != nil {
-					return err
-				}
-				reps[pi] = rep
-				return nil
-			},
-		}
+		pi := pi
+		cells[pi] = execCell(cfg,
+			fmt.Sprintf("em/line3-agm/p%d", p),
+			coverpack.AlgAcyclicOptimal, in, p,
+			func(rep *coverpack.Report) { reps[pi] = rep })
 	}
 	if err := runCells(cfg, cells); err != nil {
 		return Table{}, err
@@ -756,19 +729,14 @@ func AblationSkew(cfg Config) (Table, error) {
 	for si := range ss {
 		in := ins[si]
 		for ai, alg := range algs {
-			cells = append(cells, sched.Cell{
-				Key:  fmt.Sprintf("ablation-skew/s%.1f/%s", ss[si], alg),
-				Cost: cellCost(in),
-				Run: func() error {
-					rep, err := coverpack.ExecuteOpts(alg, in, p, cfg.eo())
-					if err != nil {
-						return err
-					}
+			si, ai := si, ai
+			cells = append(cells, execCell(cfg,
+				fmt.Sprintf("ablation-skew/s%.1f/%s", ss[si], alg),
+				alg, in, p,
+				func(rep *coverpack.Report) {
 					loads[si][ai] = rep.Stats.MaxLoad
 					emitted[si][ai] = rep.Emitted
-					return nil
-				},
-			})
+				}))
 		}
 	}
 	if err := runCells(cfg, cells); err != nil {

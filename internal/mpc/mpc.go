@@ -133,6 +133,13 @@ type Cluster struct {
 	// the engine's fork paths acquire arenas concurrently.
 	arenaMu sync.Mutex
 	arenas  [][]relation.Value
+
+	// spillBase/spillBudget configure the spill placement policy
+	// (WithSpill); spill holds its run state. Zero values = spilling
+	// off, costing the exchanges one comparison each.
+	spillBase   string
+	spillBudget int64
+	spill       spillState
 }
 
 // Option configures a Cluster at construction.
@@ -231,6 +238,7 @@ func (c *Cluster) Release() {
 	for _, a := range arenas {
 		relation.PutArena(a)
 	}
+	c.releaseSpill()
 	c.plans = nil
 }
 
@@ -457,13 +465,13 @@ func (g *Group) Scatter(r *relation.Relation) *DistRelation {
 			}
 			d.Frags[dst] = f
 		})
-		return d
+		return g.spillAdmit(d)
 	}
 	d := g.cluster.newDistSized(r.Schema(), g.size, n)
 	for i := 0; i < n; i++ {
 		d.Frags[i%g.size].Add(r.Row(i))
 	}
-	return d
+	return g.spillAdmit(d)
 }
 
 // hashKey gives a deterministic hash of an encoded key. It is the
@@ -507,7 +515,7 @@ func (g *Group) HashPartition(d *DistRelation, attrs []int) *DistRelation {
 		if plan := pc.lookup(key); plan != nil {
 			out := g.replayPlan(d, plan, attrs)
 			g.chargeRound(trace.OpHashPartition, plan.recv)
-			return out
+			return g.spillAdmit(out)
 		}
 	}
 	record := key != ""
@@ -524,7 +532,7 @@ func (g *Group) HashPartition(d *DistRelation, attrs []int) *DistRelation {
 		plan.outVers = versionsOf(out.Frags)
 		pc.store(key, plan)
 	}
-	return out
+	return g.spillAdmit(out)
 }
 
 // seqHashPartition is the sequential exchange loop; when record is set
@@ -576,7 +584,7 @@ func (g *Group) Broadcast(d *DistRelation) *DistRelation {
 		}
 	}
 	g.chargeRound(trace.OpBroadcast, recv)
-	return out
+	return g.spillAdmit(out)
 }
 
 // Gather collects d onto server 0. One round; server 0 receives
@@ -613,7 +621,7 @@ func (g *Group) Route(d *DistRelation, route func(src int, t relation.Tuple) []i
 // goroutines.
 func (g *Group) RouteBuf(d *DistRelation, route func(src int, t relation.Tuple, buf []int) []int) *DistRelation {
 	if g.parallel(d.Len()) {
-		return g.parRoute(d, route)
+		return g.spillAdmit(g.parRoute(d, route))
 	}
 	out := g.cluster.newDistSized(d.Schema, g.size, d.Len())
 	recv := make([]int, g.size)
@@ -632,7 +640,7 @@ func (g *Group) RouteBuf(d *DistRelation, route func(src int, t relation.Tuple, 
 		}
 	}
 	g.chargeRound(trace.OpRoute, recv)
-	return out
+	return g.spillAdmit(out)
 }
 
 // Local applies a per-server transformation with no communication.
@@ -801,7 +809,7 @@ func (g *Group) SendTo(d *DistRelation, k int) *DistRelation {
 		panic(fmt.Sprintf("mpc: SendTo with %d servers", k))
 	}
 	if g.parallel(d.Len()) {
-		return g.parSendTo(d, k)
+		return g.spillAdmit(g.parSendTo(d, k))
 	}
 	out := NewDist(d.Schema, k)
 	recv := make([]int, maxInt(k, g.size))
@@ -815,7 +823,7 @@ func (g *Group) SendTo(d *DistRelation, k int) *DistRelation {
 		}
 	}
 	g.chargeRound(trace.OpSendTo, recv)
-	return out
+	return g.spillAdmit(out)
 }
 
 func maxInt(a, b int) int {
@@ -843,7 +851,7 @@ type BranchDest struct {
 func (g *Group) Distribute(d *DistRelation, sizes []int, route func(src *relation.Relation, t relation.Tuple) []BranchDest) []*DistRelation {
 	offset, total := branchOffsets("Distribute", sizes)
 	if g.parallel(d.Len()) {
-		return g.parDistribute(d, sizes, offset, total, route)
+		return g.spillAdmitAll(g.parDistribute(d, sizes, offset, total, route))
 	}
 	out := make([]*DistRelation, len(sizes))
 	per := 0
@@ -870,7 +878,7 @@ func (g *Group) Distribute(d *DistRelation, sizes []int, route func(src *relatio
 		}
 	}
 	g.chargeRound(trace.OpDistribute, recv)
-	return out
+	return g.spillAdmitAll(out)
 }
 
 // branchOffsets validates branch sizes and returns each branch's first
@@ -912,7 +920,7 @@ type BranchSend struct {
 func (g *Group) DistributeSpread(d *DistRelation, sizes []int, pick func(src *relation.Relation, t relation.Tuple) []BranchSend) []*DistRelation {
 	offset, total := branchOffsets("DistributeSpread", sizes)
 	if g.parallel(d.Len()) {
-		return g.parDistributeSpread(d, sizes, offset, total, pick)
+		return g.spillAdmitAll(g.parDistributeSpread(d, sizes, offset, total, pick))
 	}
 	out := make([]*DistRelation, len(sizes))
 	// Hint every destination fragment at an even share of the exchange;
@@ -950,7 +958,7 @@ func (g *Group) DistributeSpread(d *DistRelation, sizes []int, pick func(src *re
 		}
 	}
 	g.chargeRound(trace.OpDistribute, recv)
-	return out
+	return g.spillAdmitAll(out)
 }
 
 // DeclareServers records that the computation logically occupies at

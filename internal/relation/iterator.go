@@ -114,34 +114,49 @@ func exhaustPanic() {
 
 // sourceIterator streams a materialized relation as zero-copy chunk
 // views into its arena. Rewindable; the views follow the relation's
-// arena invalidation rules.
+// arena invalidation rules. The arena slice is captured at Iter time:
+// iterating while mutating the relation is illegal anyway, and the
+// capture makes an open iterator immune to the relation being parked
+// to disk mid-iteration (the old backing array stays alive and
+// correct — parking drops the reference, it never overwrites).
 type sourceIterator struct {
-	r   *Relation
-	row int
+	schema Schema
+	data   []Value
+	arity  int
+	rows   int
+	row    int
 }
 
 // Iter returns a rewindable iterator over the relation's rows. The
 // yielded chunks are views into the relation's arena: valid as long
-// as the relation is not mutated, even across Next calls.
-func (r *Relation) Iter() Rewindable { return &sourceIterator{r: r} }
+// as the relation is not mutated, even across Next calls. A parked
+// relation (ParkTo) streams its spilled segments directly from disk —
+// same contract, chunks decoded into a pooled scratch arena — without
+// paging the arena back in.
+func (r *Relation) Iter() Rewindable {
+	if sa := r.segArena(); sa != nil {
+		return sa.Iter()
+	}
+	return &sourceIterator{schema: r.schema, data: r.data, arity: r.arity, rows: r.rows}
+}
 
-func (it *sourceIterator) Schema() Schema { return it.r.schema }
+func (it *sourceIterator) Schema() Schema { return it.schema }
 
 func (it *sourceIterator) Next() (Chunk, bool) {
-	if it.row >= it.r.rows {
+	if it.row >= it.rows {
 		return Chunk{}, false
 	}
-	n := it.r.rows - it.row
+	n := it.rows - it.row
 	if n > streamChunkRows {
 		n = streamChunkRows
 	}
 	var data []Value
-	if it.r.arity > 0 {
-		data = it.r.data[it.row*it.r.arity : (it.row+n)*it.r.arity]
+	if it.arity > 0 {
+		data = it.data[it.row*it.arity : (it.row+n)*it.arity]
 	}
 	it.row += n
 	noteChunk()
-	return Chunk{data: data, arity: it.r.arity, rows: n}, true
+	return Chunk{data: data, arity: it.arity, rows: n}, true
 }
 
 func (it *sourceIterator) Rewind() { it.row = 0 }
@@ -743,12 +758,14 @@ func Materialize(it RowIterator) *Relation {
 	return out
 }
 
-// StreamCutoff is the input size below which gated streaming
-// compositions fall back to their materialized forms: under one
-// chunk's worth of rows the iterator scaffolding (scratch arenas,
-// incremental tables) costs more than the single small intermediate
-// it avoids. Both forms produce identical output, so the cutoff is
-// invisible to every observable.
+// StreamCutoff is the input size at or below which gated streaming
+// compositions fall back to their materialized forms (the gate is
+// rows <= StreamCutoff, so a relation of exactly StreamCutoff rows
+// still materializes): at one chunk's worth of rows or fewer the
+// iterator scaffolding (scratch arenas, incremental tables) costs
+// more than the single small intermediate it avoids. Both forms
+// produce identical output, so the cutoff is invisible to every
+// observable.
 const StreamCutoff = streamChunkRows
 
 // SelectEqProject fuses SelectEq(a, v).Project(attrs...) into one

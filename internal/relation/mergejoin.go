@@ -103,6 +103,7 @@ func gallopPerm(r *Relation, perm []int32, pos []int, from int, t Tuple, tPos []
 // the identity permutation from one linear scan; large inputs take the
 // stable radix kernel.
 func sortedPerm(r *Relation, pos []int) []int32 {
+	r.ensureResident() // permutation sort needs random access to the arena
 	if r.rows < 2 || r.sortedOnPositions(pos) {
 		perm := make([]int32, r.rows)
 		for i := range perm {

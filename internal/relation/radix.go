@@ -74,7 +74,7 @@ func radixPerm(data []Value, rows, arity int, pos []int) []int32 {
 				sum += cnt[d]
 			}
 			for _, pi := range perm {
-				d := byte(keys[pi]>>shift)
+				d := byte(keys[pi] >> shift)
 				tmp[off[d]] = pi
 				off[d]++
 			}
@@ -137,6 +137,7 @@ func (r *Relation) gallopRows(lo, hi, limit int, pos []int, strict bool) int {
 // first — so the output equals r.Clone() followed by a stable sort on
 // pos, at merge cost instead of sort cost.
 func (r *Relation) MergeRuns(runLens []int, pos []int) *Relation {
+	r.ensureResident() // galloping needs random access; page a parked input in
 	type run struct{ next, end int }
 	runs := make([]run, 0, len(runLens))
 	start := 0

@@ -167,3 +167,80 @@ func TestGallopRowsBounds(t *testing.T) {
 		t.Fatalf("gallop beyond = %d, want 6", got)
 	}
 }
+
+// TestMergeRunsThreePlusRunsWithBoundaryDuplicates pins satellite 3 of
+// the spilling PR deterministically (the quick.Check property above
+// covers it statistically): at least 3 runs, duplicate keys straddling
+// every run boundary, and stability observable through a payload column
+// recording each row's origin.
+func TestMergeRunsThreePlusRunsWithBoundaryDuplicates(t *testing.T) {
+	schema := NewSchema(0, 1)
+	pos := []int{0}
+	// Four sorted runs; key 5 ends run 0, starts run 1, ends run 2 and
+	// fills run 3's middle, so every boundary carries a duplicate. The
+	// payload column is the global input index: after a stable merge,
+	// rows with equal keys must keep ascending payloads.
+	runs := [][]int64{
+		{1, 3, 5, 5},
+		{5, 6, 9},
+		{2, 5},
+		{4, 5, 5, 8},
+	}
+	r := New(schema)
+	runLens := make([]int, len(runs))
+	idx := int64(0)
+	for i, keys := range runs {
+		runLens[i] = len(keys)
+		for _, k := range keys {
+			r.AddValues(k, idx)
+			idx++
+		}
+	}
+	got := r.MergeRuns(runLens, pos)
+	want := r.Clone()
+	want.SortBy(pos) // stable reference
+	if !slices.Equal(got.data, want.data) {
+		t.Fatalf("4-run merge differs from stable sort:\n got %v\nwant %v", got.data, want.data)
+	}
+	// Explicit stability check on the tied key.
+	prev := int64(-1)
+	for i := 0; i < got.Len(); i++ {
+		row := got.Row(i)
+		if row[0] != 5 {
+			continue
+		}
+		if row[1] < prev {
+			t.Fatalf("tie on key 5 reordered: payload %d after %d", row[1], prev)
+		}
+		prev = row[1]
+	}
+}
+
+// TestMergeRunsEmptyRunsInMiddle: zero-length runs anywhere in the run
+// list — leading, central, trailing, and consecutive — must be skipped
+// without disturbing the merge.
+func TestMergeRunsEmptyRunsInMiddle(t *testing.T) {
+	schema := NewSchema(0, 1)
+	r := New(schema)
+	for i, k := range []int64{1, 4, 7} { // run A
+		r.AddValues(k, int64(i))
+	}
+	for i, k := range []int64{2, 4, 6} { // run B
+		r.AddValues(k, int64(10+i))
+	}
+	for i, k := range []int64{4} { // run C
+		r.AddValues(k, int64(20+i))
+	}
+	runLens := []int{0, 3, 0, 0, 3, 1, 0}
+	got := r.MergeRuns(runLens, []int{0})
+	want := r.Clone()
+	want.SortBy([]int{0})
+	if !slices.Equal(got.data, want.data) {
+		t.Fatalf("merge with empty middle runs differs from stable sort:\n got %v\nwant %v", got.data, want.data)
+	}
+	// Empty runs around a single non-empty run degenerate to a clone
+	// (the ≤1-run fast path, which must not count the empties as runs).
+	if out := r.MergeRuns([]int{0, 7, 0}, []int{0}); !out.Equal(r) {
+		t.Fatal("single-run-with-empties merge is not a clone")
+	}
+}

@@ -199,7 +199,7 @@ func drain(b *BufferedIterator) RowIterator { return noCloseIterator{b} }
 
 type noCloseIterator struct{ b *BufferedIterator }
 
-func (n noCloseIterator) Schema() Schema     { return n.b.Schema() }
+func (n noCloseIterator) Schema() Schema      { return n.b.Schema() }
 func (n noCloseIterator) Next() (Chunk, bool) { return n.b.Next() }
 func (n noCloseIterator) Close()              {}
 
@@ -287,4 +287,116 @@ func FuzzStreamingVsMaterialized(f *testing.F) {
 		chained := Materialize(StreamSemiJoin(StreamSemiJoin(r.Iter(), s), s))
 		check("chained-semijoin", chained, r.SemiJoin(s).SemiJoin(s))
 	})
+}
+
+// TestStreamCutoffBoundary pins satellite 1 of the spilling PR: the
+// gate is rows <= StreamCutoff, so a relation of EXACTLY StreamCutoff
+// rows still takes the materialized path (no chunks produced), and one
+// more row flips it to the streamed pass. Both paths must agree on the
+// output either way.
+func TestStreamCutoffBoundary(t *testing.T) {
+	if !StreamingEnabled() {
+		t.Skip("streaming disabled")
+	}
+	build := func(n int) *Relation {
+		r := New(NewSchema(1, 2))
+		for i := 0; i < n; i++ {
+			r.Add(Tuple{Value(i % 4), Value(i)})
+		}
+		return r
+	}
+	ref := func(r *Relation) *Relation { return r.SelectEq(1, 1).Project(2) }
+
+	at := build(StreamCutoff)
+	before := StreamStats().Chunks
+	assertSame(t, "at-cutoff", at.SelectEqProject(1, 1, 2), ref(at))
+	if got := StreamStats().Chunks - before; got != 0 {
+		t.Fatalf("exactly StreamCutoff rows produced %d chunks; the gate must materialize at the boundary", got)
+	}
+
+	above := build(StreamCutoff + 1)
+	before = StreamStats().Chunks
+	assertSame(t, "above-cutoff", above.SelectEqProject(1, 1, 2), ref(above))
+	if got := StreamStats().Chunks - before; got == 0 {
+		t.Fatal("StreamCutoff+1 rows produced no chunks; the gate failed to stream")
+	}
+}
+
+// TestBufferedIteratorDoubleRelease pins satellite 2: the second
+// Release (and a Close after Release) must be a no-op — in particular
+// it must NOT put the retained arena into the pool a second time.
+func TestBufferedIteratorDoubleRelease(t *testing.T) {
+	if !PoolingEnabled() {
+		t.Skip("pooling disabled")
+	}
+	r := New(NewSchema(1))
+	for i := 0; i < 2*streamChunkRows; i++ {
+		r.Add(Tuple{Value(i)})
+	}
+	ResetPoolStats()
+	// Computed source: the buffer spills rows into a pooled arena.
+	b := Buffer(Filter(r.Iter(), func(Tuple) bool { return true }))
+	b.Rewind() // forces the drain into the retained arena
+	Materialize(drain(b))
+	b.Release()
+	putsAfterFirst := PoolStats().Puts
+	b.Release() // must be a no-op, not a second PutArena
+	b.Close()   // Close delegates to Release; also a no-op now
+	st := PoolStats()
+	if st.Puts != putsAfterFirst {
+		t.Fatalf("double release re-put arenas: puts %d -> %d", putsAfterFirst, st.Puts)
+	}
+	if st.Gets != st.Puts {
+		t.Fatalf("arena pool out of balance: gets=%d puts=%d", st.Gets, st.Puts)
+	}
+}
+
+// TestStreamingArenaPoolBalanceErrorAndEarlyExit extends the
+// pool-balance invariant (Gets==Puts) to the paths that do not drain
+// their input: pipelines abandoned before the first chunk, pipelines
+// closed twice, a BufferedIterator released without ever being read,
+// and a consumer panic unwinding through a deferred Close.
+func TestStreamingArenaPoolBalanceErrorAndEarlyExit(t *testing.T) {
+	if !PoolingEnabled() {
+		t.Skip("pooling disabled")
+	}
+	r := New(NewSchema(1, 2))
+	for i := 0; i < 3*streamChunkRows; i++ {
+		r.Add(Tuple{Value(i % 60), Value(i)})
+	}
+	s := buildRel([]int{2, 3}, 10, 100, 20, 200)
+	ResetPoolStats()
+
+	// Closed before any Next: scratch arenas acquired at construction
+	// must still come back.
+	it := Project(StreamSemiJoin(StreamDedup(r.Iter()), s), NewSchema(1))
+	it.Close()
+	it.Close() // double close is a no-op
+
+	// Early exit after a partial read, then double close.
+	it = StreamJoin(r.Iter(), s)
+	it.Next()
+	it.Close()
+	it.Close()
+
+	// BufferedIterator released without a single Next.
+	b := Buffer(Filter(r.Iter(), func(Tuple) bool { return true }))
+	b.Release()
+	b.Release()
+
+	// Consumer panic: the deferred Close runs mid-stream, as it would
+	// in a recovering caller.
+	func() {
+		defer func() { recover() }()
+		it := StreamDedup(r.Iter())
+		defer it.Close()
+		it.Next()
+		panic("consumer failure")
+	}()
+
+	st := PoolStats()
+	if st.Gets != st.Puts {
+		t.Fatalf("arena pool out of balance on error/early-exit paths: gets=%d puts=%d (discards=%d)",
+			st.Gets, st.Puts, st.Discards)
+	}
 }

@@ -1,0 +1,38 @@
+package trace
+
+import "fmt"
+
+// SpillStats reports the out-of-core storage counters: how much arena
+// data was parked to disk segments, how much was read back, and the
+// retained-vs-spilled byte balance the memory-budget policy achieved.
+// Like PoolStats these are diagnostics only — spilling on/off never
+// changes Reports, Stats, or traces (the spill difftest arms pin
+// byte-identity), so the counters never feed any measured artifact.
+type SpillStats struct {
+	// Parks counts relations parked to on-disk segments.
+	Parks uint64
+	// PageIns counts parked relations paged fully back in (a
+	// random-access touch on a parked relation).
+	PageIns uint64
+	// SegmentsWritten counts segment files written.
+	SegmentsWritten uint64
+	// BytesWritten is total segment-file bytes written (headers
+	// included).
+	BytesWritten uint64
+	// BytesRead is total payload bytes decoded back from disk.
+	BytesRead uint64
+	// HeldBytes is the on-disk footprint currently held (written minus
+	// removed).
+	HeldBytes int64
+	// RetainedBytes is the resident-arena footprint of budget-tracked
+	// exchange outputs after the last placement pass.
+	RetainedBytes int64
+	// RetainedPeakBytes is the high-water mark of RetainedBytes.
+	RetainedPeakBytes int64
+}
+
+func (s SpillStats) String() string {
+	return fmt.Sprintf("parks=%d pageins=%d segments=%d written=%dB read=%dB held=%dB retained=%dB peak=%dB",
+		s.Parks, s.PageIns, s.SegmentsWritten, s.BytesWritten, s.BytesRead,
+		s.HeldBytes, s.RetainedBytes, s.RetainedPeakBytes)
+}

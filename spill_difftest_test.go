@@ -1,0 +1,162 @@
+package coverpack_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"coverpack"
+	"coverpack/internal/hypergraph"
+	"coverpack/internal/relation"
+)
+
+// Spill arms of the differential determinism oracle. Spilling is a
+// pure placement lever — where exchange-output bytes live, never what
+// any run computes — so a run with arenas parked to disk under an
+// aggressively small memory budget must produce the same report, the
+// same trace span tree, and the same per-phase load attribution as the
+// fully resident reference, bit for bit, at every worker count. The
+// arms double as the acceptance check that out-of-core execution
+// actually happens: the park counter must move, and the sequential
+// arm's retained peak must respect the budget.
+
+// spillArmBudget is small enough that every oracle instance's exchange
+// working set exceeds it, forcing real parks.
+const spillArmBudget = 4 << 10
+
+// spillTracedRun executes one spill-mode configuration with a
+// collector attached.
+func spillTracedRun(t *testing.T, alg coverpack.Algorithm, in *coverpack.Instance, p int, eo coverpack.ExecOptions) (*coverpack.Report, *coverpack.TraceSpan, []coverpack.PhaseRow, error) {
+	t.Helper()
+	col := coverpack.NewTraceCollector()
+	eo.Recorder = col
+	rep, err := coverpack.ExecuteOpts(alg, in, p, eo)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	root := col.Root()
+	return rep, root, coverpack.PhaseTable(root), nil
+}
+
+// runSpillOracle compares spill-on arms against the fully resident
+// reference for every algorithm accepting the instance's query.
+func runSpillOracle(t *testing.T, in *coverpack.Instance, p int) {
+	for _, alg := range oracleAlgorithms {
+		refRep, refRoot, refPhases, err := spillTracedRun(t, alg, in, p,
+			coverpack.ExecOptions{Workers: 1, Spilling: coverpack.SpillOff})
+		if err != nil {
+			continue // algorithm rejects this query class
+		}
+		for _, workers := range append([]int{1}, oracleWorkerSet()...) {
+			workers := workers
+			label := fmt.Sprintf("%s/%s/workers=%d/spill-on", in.Query.Name(), alg, workers)
+			rep, root, phases, err := spillTracedRun(t, alg, in, p, coverpack.ExecOptions{
+				Workers:          workers,
+				Spilling:         coverpack.SpillOn,
+				SpillDir:         t.TempDir(),
+				SpillBudgetBytes: spillArmBudget,
+			})
+			if err != nil {
+				t.Errorf("%s: run failed where the resident reference succeeded: %v", label, err)
+				continue
+			}
+			assertRunsAgree(t, label, refRep, refRoot, refPhases, rep, root, phases)
+		}
+	}
+}
+
+// TestSpillDeterminismOracle: a catalog subset big enough that every
+// algorithm's exchanges overflow the spill budget. Byte-identity plus
+// the two acceptance gauges (parks nonzero, sequential peak within
+// budget) in one sweep.
+func TestSpillDeterminismOracle(t *testing.T) {
+	before := relation.SpillStats()
+	coverpack.ResetSpillRetainedPeak()
+	for _, q := range []*hypergraph.Query{
+		hypergraph.SemiJoinExample(),
+		hypergraph.Line3Join(),
+		hypergraph.TriangleJoin(),
+		hypergraph.StarDualJoin(3),
+	} {
+		q := q
+		t.Run(q.Name(), func(t *testing.T) {
+			in := coverpack.Uniform(q, 1600, 2000, 7)
+			runSpillOracle(t, in, 8)
+		})
+	}
+	sc := coverpack.SpillStats()
+	if sc.Parks == before.Parks {
+		t.Fatal("spill arms parked nothing: the out-of-core path never engaged")
+	}
+	if sc.BytesWritten == before.BytesWritten || sc.BytesRead == before.BytesRead {
+		t.Fatal("spill arms moved no bytes through segment files")
+	}
+}
+
+// TestSpillSequentialPeakWithinBudget pins the budget enforcement the
+// oracle relies on: with one worker, every admission parks down to the
+// budget, so the process-wide retained peak cannot exceed it.
+func TestSpillSequentialPeakWithinBudget(t *testing.T) {
+	coverpack.ResetSpillRetainedPeak()
+	in := coverpack.Uniform(hypergraph.TriangleJoin(), 2000, 2500, 3)
+	if _, err := coverpack.ExecuteOpts(coverpack.AlgTriangle, in, 8, coverpack.ExecOptions{
+		Workers:          1,
+		Spilling:         coverpack.SpillOn,
+		SpillDir:         t.TempDir(),
+		SpillBudgetBytes: spillArmBudget,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	peak := coverpack.SpillRetainedPeakBytes()
+	if peak == 0 {
+		t.Fatal("no spill admission recorded a retained peak")
+	}
+	if peak > spillArmBudget {
+		t.Fatalf("sequential retained peak %d bytes exceeds the %d-byte budget", peak, spillArmBudget)
+	}
+}
+
+// TestSpillHeavyHubSkew drives the spill arms over a skewed instance:
+// heavy/light splits exercise Distribute and SendTo placements the
+// uniform oracle misses.
+func TestSpillHeavyHubSkew(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skew instances skipped in -short mode")
+	}
+	for _, q := range []*hypergraph.Query{
+		hypergraph.SemiJoinExample(),
+		hypergraph.TriangleJoin(),
+	} {
+		q := q
+		t.Run(q.Name(), func(t *testing.T) {
+			runSpillOracle(t, coverpack.HeavyHub(q, 1500), 8)
+		})
+	}
+}
+
+// TestSpillDirLeavesNothingBehind: ExecuteOpts owns its per-run spill
+// subdirectory; after the run returns, the caller's directory is empty
+// again.
+func TestSpillDirLeavesNothingBehind(t *testing.T) {
+	dir := t.TempDir()
+	in := coverpack.Uniform(hypergraph.Line3Join(), 1600, 2000, 7)
+	if _, err := coverpack.ExecuteOpts(coverpack.AlgYannakakis, in, 8, coverpack.ExecOptions{
+		Spilling:         coverpack.SpillOn,
+		SpillDir:         dir,
+		SpillBudgetBytes: spillArmBudget,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	assertEmptyDir(t, dir)
+}
+
+func assertEmptyDir(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("%d entries left in spill dir after the run", len(ents))
+	}
+}
