@@ -346,6 +346,14 @@ type ExecOptions struct {
 	// before the placement policy parks arenas to disk; 0 selects
 	// DefaultSpillBudgetBytes.
 	SpillBudgetBytes int64
+	// ParKernels selects morsel-parallel local operators for the run:
+	// ParKernelDefault (the zero value) follows the process-wide switch
+	// (on by default), ParKernelOn/ParKernelOff force it. The switch
+	// shares Streaming's process-global semantics (forced settings are
+	// restored after the run; concurrent forced runs must serialize).
+	// Results are byte-identical in every mode and at every worker
+	// count; only wall-clock behavior differs.
+	ParKernels ParKernelMode
 }
 
 // Execute runs one algorithm on a fresh p-server cluster and returns
@@ -366,6 +374,11 @@ func ExecuteOpts(alg Algorithm, in *Instance, p int, eo ExecOptions) (*Report, e
 		prev := relation.StreamingEnabled()
 		relation.SetStreaming(eo.Streaming == StreamOn)
 		defer relation.SetStreaming(prev)
+	}
+	if eo.ParKernels != ParKernelDefault {
+		prev := relation.ParKernelsEnabled()
+		relation.SetParKernels(eo.ParKernels == ParKernelOn)
+		defer relation.SetParKernels(prev)
 	}
 	var opts []mpc.Option
 	if eo.Recorder != nil {

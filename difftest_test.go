@@ -50,6 +50,7 @@ type runCfg struct {
 	cache   bool // plan cache AND retained key indexes
 	pool    bool // arena / hash-bucket / send-list recycling
 	stream  bool // streaming iterator execution of relation ops
+	seqKern bool // force morsel-parallel kernels OFF (sequential operators)
 }
 
 func (c runCfg) String() string {
@@ -65,7 +66,11 @@ func (c runCfg) String() string {
 	if !c.stream {
 		stream = "stream-off"
 	}
-	return fmt.Sprintf("workers=%d/%s/%s/%s", c.workers, cache, pool, stream)
+	kern := "morsel-on"
+	if c.seqKern {
+		kern = "morsel-off"
+	}
+	return fmt.Sprintf("workers=%d/%s/%s/%s/%s", c.workers, cache, pool, stream, kern)
 }
 
 // tracedRun executes one configuration with a collector attached and
@@ -88,12 +93,17 @@ func tracedRun(t *testing.T, alg coverpack.Algorithm, in *coverpack.Instance, p 
 	if cfg.stream {
 		streaming = coverpack.StreamOn
 	}
+	kernels := coverpack.ParKernelOn
+	if cfg.seqKern {
+		kernels = coverpack.ParKernelOff
+	}
 	col := coverpack.NewTraceCollector()
 	rep, err := coverpack.ExecuteOpts(alg, in, p, coverpack.ExecOptions{
 		Workers:     cfg.workers,
 		Recorder:    col,
 		NoPlanCache: !cfg.cache,
 		Streaming:   streaming,
+		ParKernels:  kernels,
 	})
 	if err != nil {
 		return nil, nil, nil, err
@@ -147,6 +157,13 @@ func oracleConfigs() []runCfg {
 		// mode is not the reference config itself, so compare it too.
 		if stream {
 			cfgs = append(cfgs, runCfg{workers: 1, cache: false, pool: false, stream: true})
+		}
+		// Morsel-off arms: the same parallel engine with every local
+		// operator forced onto its sequential reference implementation.
+		// Any divergence between these and the morsel-on arms above is a
+		// parallel-kernel byte-identity violation.
+		for _, w := range oracleWorkerSet() {
+			cfgs = append(cfgs, runCfg{workers: w, cache: true, pool: true, stream: stream, seqKern: true})
 		}
 	}
 	return cfgs

@@ -116,6 +116,54 @@ func TestParseSpillBenchJSON(t *testing.T) {
 	}
 }
 
+// The arms-shaped BENCH_parallel.json (per-GOMAXPROCS timings) must
+// decode one entry per arm, and the legacy seq_ns/par_ns shape must
+// keep working alongside it.
+func TestParseParallelArmsBenchJSON(t *testing.T) {
+	fixture := []byte(`{
+		"numcpu": 1,
+		"rows": [
+			{
+				"query": "triangle/matching",
+				"algorithm": "hypercube",
+				"n": 4000,
+				"ps": [4, 16, 64],
+				"emitted": 12000,
+				"arms": [
+					{"gomaxprocs": 1, "workers": 1, "ns": 20000000, "speedup": 1},
+					{"gomaxprocs": 1, "workers": 4, "ns": 19000000, "speedup": 1.05},
+					{"gomaxprocs": 4, "workers": 4, "ns": 8000000, "speedup": 2.5}
+				]
+			},
+			{
+				"query": "legacy/row",
+				"algorithm": "acyclic-optimal",
+				"seq_ns": 5000000,
+				"par_ns": 4000000
+			}
+		]
+	}`)
+	es, err := ParseBenchJSON("fixture", fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 5 {
+		t.Fatalf("got %d entries, want 5: %+v", len(es), es)
+	}
+	want := []Entry{
+		{Name: Normalize("parallel/triangle/matching/hypercube/gomaxprocs=1/workers=1"), NsPerOp: 20000000},
+		{Name: Normalize("parallel/triangle/matching/hypercube/gomaxprocs=1/workers=4"), NsPerOp: 19000000},
+		{Name: Normalize("parallel/triangle/matching/hypercube/gomaxprocs=4/workers=4"), NsPerOp: 8000000},
+		{Name: Normalize("parallel/legacy/row/acyclic-optimal/seq"), NsPerOp: 5000000},
+		{Name: Normalize("parallel/legacy/row/acyclic-optimal/par"), NsPerOp: 4000000},
+	}
+	for i, w := range want {
+		if es[i].Name != w.Name || es[i].NsPerOp != w.NsPerOp {
+			t.Errorf("entry %d = %+v, want %+v", i, es[i], w)
+		}
+	}
+}
+
 // The committed BENCH_*.json schemas must all decode.
 func TestParseCommittedBenchJSON(t *testing.T) {
 	root := "../.."

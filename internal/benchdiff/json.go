@@ -11,7 +11,9 @@ import (
 // ParseBenchJSON sniffs the shape and emits normalized entries:
 //
 //	memory   {"rows": {"dedupe": {"ns_per_op": N}}}      → mem<name>
-//	parallel {"rows": [{query, algorithm, seq_ns, par_ns}]} → parallel/<query>/<alg>/seq|par
+//	parallel {"rows": [{query, algorithm, arms: [{gomaxprocs, workers, ns}]}]}
+//	         → parallel/<query>/<alg>/gomaxprocs=<g>/workers=<w>
+//	parallel (legacy) {"rows": [{query, algorithm, seq_ns, par_ns}]} → parallel/<query>/<alg>/seq|par
 //	plan     {"rows": [{workload, cache_on_ns, cache_off_ns}]} → plan/<workload>/cacheon|cacheoff
 //	sweep    {"arms": [{sweep, run_workers, ns}]}        → sweep<sweep>/runworkers=<w>
 //	stream   {"streams": [{pipeline, streaming: {ns_per_op}, materialized: {ns_per_op}}]}
@@ -37,6 +39,11 @@ type parallelFile struct {
 		Algorithm string  `json:"algorithm"`
 		SeqNs     float64 `json:"seq_ns"`
 		ParNs     float64 `json:"par_ns"`
+		Arms      []struct {
+			GOMAXPROCS int     `json:"gomaxprocs"`
+			Workers    int     `json:"workers"`
+			Ns         float64 `json:"ns"`
+		} `json:"arms"`
 	} `json:"rows"`
 }
 
@@ -137,19 +144,27 @@ func ParseBenchJSON(source string, data []byte) ([]Entry, error) {
 			out = add(out, "mem"+name, row.NsPerOp)
 		}
 	case len(probe.Rows) > 0 && probe.Rows[0] == '[':
-		// Array rows: parallel (seq_ns/par_ns) or plan (cache_*_ns);
-		// decode both and keep whichever matched.
+		// Array rows: parallel (per-arm timings, or the legacy
+		// seq_ns/par_ns pair) or plan (cache_*_ns); decode both and keep
+		// whichever matched.
 		var pf parallelFile
 		if err := json.Unmarshal(data, &pf); err != nil {
 			return nil, fmt.Errorf("benchdiff: %s: %w", source, err)
 		}
 		matched := false
 		for _, row := range pf.Rows {
+			base := "parallel/" + row.Query + "/" + row.Algorithm
+			if len(row.Arms) > 0 {
+				for _, a := range row.Arms {
+					matched = true
+					out = add(out, base+"/gomaxprocs="+strconv.Itoa(a.GOMAXPROCS)+"/workers="+strconv.Itoa(a.Workers), a.Ns)
+				}
+				continue
+			}
 			if row.SeqNs <= 0 && row.ParNs <= 0 {
 				continue
 			}
 			matched = true
-			base := "parallel/" + row.Query + "/" + row.Algorithm
 			out = add(out, base+"/seq", row.SeqNs)
 			out = add(out, base+"/par", row.ParNs)
 		}

@@ -47,7 +47,7 @@ func RunLW(g *mpc.Group, in *relation.Instance) (*Result, error) {
 	dedup := make([]*relation.Relation, q.NumEdges())
 	scattered := make([]*mpc.DistRelation, q.NumEdges())
 	for e := 0; e < q.NumEdges(); e++ {
-		dedup[e] = in.Rel(e).Dedup()
+		dedup[e] = in.Rel(e).DedupPar(g)
 		scattered[e] = g.Scatter(dedup[e])
 	}
 

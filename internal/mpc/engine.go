@@ -102,10 +102,13 @@ func (g *Group) parallel(n int) bool {
 
 // fork runs fn(0..n-1) across the worker pool and returns when all
 // calls have finished. The caller participates; extra goroutines are
-// admitted by the cluster token pool (capacity workers−1) and work-steal
-// indices from a shared counter. A panic in any call is re-raised on
-// the caller (lowest index wins), preserving the sequential engine's
-// panic semantics for bad routes.
+// admitted by the cluster token pool (capacity workers−1). Indices are
+// distributed by a work-stealing morsel queue (morsel.go): each
+// participant drains its own contiguous range and steals half of the
+// fullest remaining range when it empties, with all shared state in
+// cache-line-padded per-participant words. A panic in any call is
+// re-raised on the caller (lowest index wins), preserving the
+// sequential engine's panic semantics for bad routes.
 func (c *Cluster) fork(n int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -116,52 +119,41 @@ func (c *Cluster) fork(n int, fn func(i int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	panics := make([]any, n)
-	var panicked atomic.Bool
-	run := func() {
-		for {
-			i := int(next.Add(1) - 1)
-			if i >= n {
-				return
-			}
-			func() {
-				defer func() {
-					if r := recover(); r != nil {
-						panics[i] = r
-						panicked.Store(true)
-					}
-				}()
-				fn(i)
-			}()
-		}
-	}
 	want := c.workers
 	if n < want {
 		want = n
 	}
-	var wg sync.WaitGroup
+	// Reserve tokens before seeding the queue so the initial ranges
+	// split over the real participant count; a pool-exhausted fork
+	// degrades to the caller draining one full range inline.
 	spawned := 0
-spawn:
+reserve:
 	for extra := 1; extra < want; extra++ {
 		select {
 		case c.tokens <- struct{}{}:
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer func() { <-c.tokens }()
-				run()
-			}()
 			spawned++
 		default:
-			break spawn // pool exhausted; the caller absorbs the rest
+			break reserve // pool exhausted; the caller absorbs the rest
 		}
 	}
+	q := newMorselQueue(spawned+1, n)
+	panics := make([]any, n)
+	var panicked atomic.Bool
+	var wg sync.WaitGroup
+	for w := 1; w <= spawned; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() { <-c.tokens }()
+			q.run(w, fn, panics, &panicked)
+		}(w)
+	}
+	q.run(0, fn, panics, &panicked)
+	wg.Wait()
 	mEngineForks.Inc()
 	mEngineForkTasks.Add(uint64(n))
 	mEngineForkGoroutines.Add(uint64(spawned))
-	run()
-	wg.Wait()
+	q.flush()
 	if panicked.Load() {
 		for _, p := range panics {
 			if p != nil {
@@ -177,6 +169,12 @@ spawn:
 // only shared writes must go to caller-owned per-index slots, so the
 // merged result is independent of scheduling.
 func (g *Group) Fork(n int, fn func(i int)) { g.cluster.fork(n, fn) }
+
+// Workers reports the cluster's worker-pool size. Together with Fork
+// this makes *Group satisfy relation.Forker, so local-operator kernels
+// can fan their phases out over the same pool (and the same token
+// budget) as the exchanges.
+func (g *Group) Workers() int { return g.cluster.workers }
 
 // frange is one contiguous run of tuples within a fragment; base is the
 // flattened (fragment-major) index of its first tuple.

@@ -1,0 +1,186 @@
+package mpc
+
+import (
+	"sync/atomic"
+	"time"
+
+	"coverpack/internal/metrics"
+)
+
+// Morsel-driven work distribution for the engine's fork primitive.
+//
+// A fork over n index tasks is split into one contiguous index range
+// per participant (the caller plus every goroutine admitted from the
+// token pool). Each participant claims indices from its own range one
+// at a time; when its range drains it steals the upper half of the
+// fullest remaining range. All range state lives in one packed 64-bit
+// word per participant — next index in the high half, range limit in
+// the low half — so claim and steal are single CAS operations, and the
+// words are padded to separate cache lines so participants hammering
+// their own cursors never write-share a line (the previous engine's
+// single shared counter made every claim a cross-core bounce).
+//
+// Determinism: which participant runs task i varies run to run, but fn
+// is restricted (see Group.Fork) to writes into caller-owned per-index
+// slots, so execution placement is unobservable. Every index in [0, n)
+// is claimed exactly once: claims and steals both advance/split ranges
+// with CAS on the same word, and a steal only moves un-claimed indices
+// between slots.
+//
+// Telemetry is batch-flushed: each participant counts tasks and steals
+// in its private (padded) stats slot and the fork flushes the sums to
+// the process counters once after the barrier — no per-task atomic
+// counter traffic.
+
+// morselPad is the assumed cache-line size for padding out false
+// sharing between participant slots.
+const morselPad = 64
+
+// morselSlot is one participant's claimable index range, packed as
+// next<<32 | limit. The range is empty when next >= limit.
+type morselSlot struct {
+	r atomic.Uint64
+	_ [morselPad - 8]byte
+}
+
+// morselStats is one participant's private telemetry, written only by
+// its owner during the fork and read by the forker after the barrier.
+type morselStats struct {
+	tasks  uint64
+	steals uint64
+	busyNs int64
+	_      [morselPad - 24]byte
+}
+
+func packRange(next, limit int) uint64 {
+	return uint64(uint32(next))<<32 | uint64(uint32(limit))
+}
+
+func unpackRange(v uint64) (next, limit int) {
+	return int(uint32(v >> 32)), int(uint32(v))
+}
+
+// take claims the next index of the slot's range, or reports an empty
+// range.
+func (s *morselSlot) take() (int, bool) {
+	for {
+		v := s.r.Load()
+		next, limit := unpackRange(v)
+		if next >= limit {
+			return 0, false
+		}
+		if s.r.CompareAndSwap(v, packRange(next+1, limit)) {
+			return next, true
+		}
+	}
+}
+
+// morselQueue distributes one fork's index tasks over its
+// participants.
+type morselQueue struct {
+	slots []morselSlot
+	stats []morselStats
+	timed bool // collect per-participant busy time (metrics enabled)
+}
+
+// newMorselQueue seeds a queue of n tasks split evenly over p
+// participant ranges (participant w gets [w*n/p, (w+1)*n/p)).
+func newMorselQueue(p, n int) *morselQueue {
+	q := &morselQueue{
+		slots: make([]morselSlot, p),
+		stats: make([]morselStats, p),
+		timed: metrics.Enabled(),
+	}
+	for w := 0; w < p; w++ {
+		q.slots[w].r.Store(packRange(w*n/p, (w+1)*n/p))
+	}
+	return q
+}
+
+// stealInto moves the upper half of the fullest victim range into
+// participant w's (empty) slot. It reports false only when a full scan
+// finds every other slot empty — ranges never grow, so any work it
+// misses is owned by a live participant that will run it.
+func (q *morselQueue) stealInto(w int) bool {
+	for {
+		best, bestRem := -1, 0
+		var bestV uint64
+		for v := range q.slots {
+			if v == w {
+				continue
+			}
+			x := q.slots[v].r.Load()
+			next, limit := unpackRange(x)
+			if rem := limit - next; rem > bestRem {
+				best, bestRem, bestV = v, rem, x
+			}
+		}
+		if best < 0 {
+			return false
+		}
+		next, limit := unpackRange(bestV)
+		// The thief takes the upper ceil(rem/2); a last lone index moves
+		// entirely (the victim is mid-task or about to steal itself).
+		mid := next + bestRem/2
+		if q.slots[best].r.CompareAndSwap(bestV, packRange(next, mid)) {
+			// Only the owner stores to its own slot outside a steal, and
+			// concurrent thieves CAS-fail on non-empty slots only — an
+			// empty slot is never CASed — so a plain store is race-free.
+			q.slots[w].r.Store(packRange(mid, limit))
+			return true
+		}
+		// Lost the race on the victim's word; rescan.
+	}
+}
+
+// run is one participant's drain loop: claim from the own range, steal
+// when it empties, stop when nothing is left anywhere.
+func (q *morselQueue) run(w int, fn func(i int), panics []any, panicked *atomic.Bool) {
+	st := &q.stats[w]
+	var start time.Time
+	if q.timed {
+		start = time.Now()
+	}
+	slot := &q.slots[w]
+	for {
+		i, ok := slot.take()
+		if !ok {
+			if !q.stealInto(w) {
+				break
+			}
+			st.steals++
+			continue
+		}
+		st.tasks++
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					panics[i] = r
+					panicked.Store(true)
+				}
+			}()
+			fn(i)
+		}()
+	}
+	if q.timed {
+		st.busyNs = time.Since(start).Nanoseconds()
+	}
+}
+
+// flush folds the per-participant stats into the process counters —
+// one batched add per counter per fork, after every participant has
+// finished (the fork's WaitGroup provides the happens-before edge).
+func (q *morselQueue) flush() {
+	var steals, morsels uint64
+	for w := range q.stats {
+		steals += q.stats[w].steals
+		morsels += 1 + q.stats[w].steals // initial range + each stolen range
+	}
+	mMorselSteals.Add(steals)
+	mMorselMorsels.Add(morsels)
+	if q.timed {
+		for w := range q.stats {
+			mMorselWorkerBusy.Observe(float64(q.stats[w].busyNs) / 1e9)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package mpc
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMorselPackRangeRoundtrip(t *testing.T) {
+	cases := [][2]int{{0, 0}, {0, 1}, {5, 5}, {3, 1000}, {1<<31 - 2, 1<<31 - 1}}
+	for _, c := range cases {
+		next, limit := unpackRange(packRange(c[0], c[1]))
+		if next != c[0] || limit != c[1] {
+			t.Fatalf("pack/unpack(%d, %d) = (%d, %d)", c[0], c[1], next, limit)
+		}
+	}
+}
+
+// Every index of [0, n) must be claimed exactly once, for any
+// participant/task-count shape, with claims racing real goroutines.
+func TestMorselQueueExactCoverage(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 5, 64, 1000} {
+			q := newMorselQueue(p, n)
+			counts := make([]atomic.Int32, n)
+			panics := make([]any, n)
+			var panicked atomic.Bool
+			var wg sync.WaitGroup
+			for w := 0; w < p; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					q.run(w, func(i int) { counts[i].Add(1) }, panics, &panicked)
+				}(w)
+			}
+			wg.Wait()
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("p=%d n=%d: index %d ran %d times", p, n, i, got)
+				}
+			}
+			var tasks uint64
+			for w := 0; w < p; w++ {
+				tasks += q.stats[w].tasks
+			}
+			if tasks != uint64(n) {
+				t.Fatalf("p=%d n=%d: stats count %d tasks", p, n, tasks)
+			}
+		}
+	}
+}
+
+// A participant whose seeded range is empty must drain someone else's
+// work by stealing — deterministic here because the thief runs alone.
+func TestMorselStealDrainsForeignRange(t *testing.T) {
+	q := newMorselQueue(2, 10)
+	// Re-seed: all ten tasks on participant 0, none on participant 1.
+	q.slots[0].r.Store(packRange(0, 10))
+	q.slots[1].r.Store(packRange(0, 0))
+	var ran [10]bool
+	panics := make([]any, 10)
+	var panicked atomic.Bool
+	q.run(1, func(i int) { ran[i] = true }, panics, &panicked)
+	for i, ok := range ran {
+		if !ok {
+			t.Fatalf("index %d never ran", i)
+		}
+	}
+	if q.stats[1].tasks != 10 {
+		t.Fatalf("thief ran %d tasks, want 10", q.stats[1].tasks)
+	}
+	// Halving steals: [5,10) then [2,5)... — at least two for ten tasks.
+	if q.stats[1].steals < 2 {
+		t.Fatalf("thief recorded %d steals, want >= 2", q.stats[1].steals)
+	}
+	// Nothing left for the owner.
+	q.run(0, func(i int) { t.Fatalf("index %d ran twice", i) }, panics, &panicked)
+}
+
+// Panic propagation through the morsel queue under nested Parallel
+// branches: the inner fork re-raises its lowest panicking task index,
+// the outer fork re-raises the lowest panicking branch.
+func TestMorselPanicPropagationNestedParallel(t *testing.T) {
+	c := NewCluster(8, withForcedWorkers(4))
+	defer c.Release()
+	g := c.Root()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("nested panic swallowed by the morsel queue")
+		}
+		if s, ok := r.(string); !ok || s != "nested-boom-1" {
+			t.Fatalf("recovered %v, want nested-boom-1 (lowest branch, lowest index)", r)
+		}
+	}()
+	branches := make([]Branch, 4)
+	for bi := range branches {
+		bi := bi
+		branches[bi] = Branch{Servers: 2, Run: func(sub *Group) {
+			c.fork(6, func(j int) {
+				if bi >= 1 && j >= 3 {
+					panic("nested-boom-" + itoa(bi))
+				}
+			})
+		}}
+	}
+	g.Parallel(branches)
+}

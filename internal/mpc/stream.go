@@ -38,6 +38,13 @@ func (g *Group) LocalStream(d *DistRelation, f func(server int, it relation.RowI
 // materialized form (row i of the deduplicated order lands on server
 // i mod size), and Scatter stays free and untraced either way.
 func (g *Group) ScatterDedup(r *relation.Relation) *DistRelation {
+	// A large input on a parallel cluster dedups faster materialized
+	// through the partitioned kernel than through the streaming
+	// iterator; the deduplicated order (first-seen) — and therefore
+	// round-robin placement — is identical on every path.
+	if g.cluster.workers > 1 && r.Len() >= relation.ParCutoff {
+		return g.Scatter(r.DedupPar(g))
+	}
 	if !relation.StreamingEnabled() {
 		return g.Scatter(r.Dedup())
 	}

@@ -43,7 +43,7 @@ func Sort(g *mpc.Group, d *mpc.DistRelation, attrs []int) *mpc.DistRelation {
 	if p == 1 {
 		out := g.Local(d, func(_ int, f *relation.Relation) *relation.Relation {
 			cp := f.Clone()
-			sortRel(cp, pos)
+			sortRel(g, cp, pos)
 			return cp
 		})
 		return out
@@ -56,7 +56,7 @@ func Sort(g *mpc.Group, d *mpc.DistRelation, attrs []int) *mpc.DistRelation {
 	const perServer = 8
 	sampleRel := g.Local(d, func(_ int, f *relation.Relation) *relation.Relation {
 		cp := f.Clone()
-		sortRel(cp, pos)
+		sortRel(g, cp, pos)
 		out := relation.New(f.Schema())
 		n := cp.Len()
 		if n == 0 {
@@ -79,7 +79,7 @@ func Sort(g *mpc.Group, d *mpc.DistRelation, attrs []int) *mpc.DistRelation {
 	for i, f := range sampleRel.Frags {
 		runLens[i] = f.Len()
 	}
-	sample := g.Gather(sampleRel).MergeRuns(runLens, pos)
+	sample := g.Gather(sampleRel).MergeRunsPar(runLens, pos, g)
 
 	// Splitters: p−1 evenly spaced sample keys. The views stay valid for
 	// the routing round below because sample is never mutated again.
@@ -109,16 +109,18 @@ func Sort(g *mpc.Group, d *mpc.DistRelation, attrs []int) *mpc.DistRelation {
 	})
 	return g.Local(routed, func(_ int, f *relation.Relation) *relation.Relation {
 		cp := f.Clone()
-		sortRel(cp, pos)
+		sortRel(g, cp, pos)
 		return cp
 	})
 }
 
 // sortRel stably sorts r in place on the given schema positions. It
 // must go through the relation (the arena is the storage; sorting a
-// materialized []Tuple view would not reorder it).
-func sortRel(r *relation.Relation, pos []int) {
-	r.SortBy(pos)
+// materialized []Tuple view would not reorder it). Large fragments fan
+// the radix passes out over the group's worker pool; the result is
+// byte-identical at any worker count.
+func sortRel(g *mpc.Group, r *relation.Relation, pos []int) {
+	r.SortByPar(pos, g)
 }
 
 // IsGloballySorted reports whether the distributed relation is sorted

@@ -769,12 +769,45 @@ func Materialize(it RowIterator) *Relation {
 const StreamCutoff = streamChunkRows
 
 // SelectEqProject fuses SelectEq(a, v).Project(attrs...) into one
-// streamed pass when streaming is on and the relation spans multiple
-// chunks; otherwise it runs the two materialized operators. Output
-// and panics are identical either way.
+// direct single pass when streaming is on and the relation spans
+// multiple chunks; otherwise it runs the two materialized operators.
+// The fused pass writes survivors straight into the output — no
+// iterator scaffolding, no chunk scratch arena, and no materialized
+// SelectEq intermediate (which is the wide relation: it carries every
+// column, while the output carries only the projected ones). Output
+// and panics are identical either way: the selection attribute is
+// validated first (as SelectEq would), then every projection
+// attribute (as Project would, even when nothing survives the
+// filter), and survivors are emitted in scan order with columns in
+// schema order.
 func (r *Relation) SelectEqProject(a int, v Value, attrs ...int) *Relation {
 	if !StreamingEnabled() || r.rows <= StreamCutoff {
 		return r.SelectEq(a, v).Project(attrs...)
 	}
-	return Materialize(Project(FilterEq(r.Iter(), a, v), NewSchema(attrs...)))
+	p := r.schema.Pos(a)
+	if p < 0 {
+		panic(fmt.Sprintf("relation: SelectEq attribute %d not in schema %v", a, r.schema))
+	}
+	schema := NewSchema(attrs...)
+	out := New(schema)
+	pos := make([]int, schema.Len())
+	for i := range pos {
+		pa := schema.Attr(i)
+		pp := r.schema.Pos(pa)
+		if pp < 0 {
+			panic(fmt.Sprintf("relation: Project attribute %d not in schema %v", pa, r.schema))
+		}
+		pos[i] = pp
+	}
+	for i := 0; i < r.rows; i++ {
+		t := r.Row(i)
+		if t[p] != v {
+			continue
+		}
+		for _, q := range pos {
+			out.data = append(out.data, t[q])
+		}
+		out.rows++
+	}
+	return out
 }

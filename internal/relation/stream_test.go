@@ -289,11 +289,13 @@ func FuzzStreamingVsMaterialized(f *testing.F) {
 	})
 }
 
-// TestStreamCutoffBoundary pins satellite 1 of the spilling PR: the
-// gate is rows <= StreamCutoff, so a relation of EXACTLY StreamCutoff
-// rows still takes the materialized path (no chunks produced), and one
-// more row flips it to the streamed pass. Both paths must agree on the
-// output either way.
+// TestStreamCutoffBoundary pins the SelectEqProject gate: at or below
+// StreamCutoff rows it runs the two materialized operators; above the
+// cutoff it runs the fused direct single pass — which builds neither
+// iterator chunks nor the wide SelectEq intermediate, so it must
+// produce zero chunks AND allocate strictly less than the
+// two-operator reference. Both paths must agree on the output either
+// way.
 func TestStreamCutoffBoundary(t *testing.T) {
 	if !StreamingEnabled() {
 		t.Skip("streaming disabled")
@@ -317,8 +319,13 @@ func TestStreamCutoffBoundary(t *testing.T) {
 	above := build(StreamCutoff + 1)
 	before = StreamStats().Chunks
 	assertSame(t, "above-cutoff", above.SelectEqProject(1, 1, 2), ref(above))
-	if got := StreamStats().Chunks - before; got == 0 {
-		t.Fatal("StreamCutoff+1 rows produced no chunks; the gate failed to stream")
+	if got := StreamStats().Chunks - before; got != 0 {
+		t.Fatalf("fused single pass produced %d chunks; it must not build iterator scaffolding", got)
+	}
+	fused := testing.AllocsPerRun(20, func() { above.SelectEqProject(1, 1, 2) })
+	twoOp := testing.AllocsPerRun(20, func() { ref(above) })
+	if fused >= twoOp {
+		t.Fatalf("fused pass allocates %.0f times vs %.0f for SelectEq+Project; fusion must skip the wide intermediate", fused, twoOp)
 	}
 }
 

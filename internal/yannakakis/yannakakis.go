@@ -101,7 +101,7 @@ func pairJoin(g *mpc.Group, a, b *mpc.DistRelation) *mpc.DistRelation {
 	bp := g.HashPartition(b, common)
 	out := mpc.NewDist(a.Schema.Union(b.Schema), g.Size())
 	g.Fork(len(ap.Frags), func(i int) {
-		out.Frags[i] = ap.Frags[i].Join(bp.Frags[i])
+		out.Frags[i] = ap.Frags[i].JoinPar(bp.Frags[i], g)
 	})
 	// Joined rows keep the join-key values of their inputs, so the
 	// output stays partitioned on common — the parent's pairJoin on the

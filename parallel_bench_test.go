@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"coverpack"
+	"coverpack/internal/em"
 	"coverpack/internal/hypergraph"
 	"coverpack/internal/workload"
 )
@@ -92,42 +93,59 @@ func itoa(n int) string {
 	return string(buf)
 }
 
+// benchArm is one (GOMAXPROCS, workers) timing of a bench row. The
+// first arm of every row is the sequential baseline (gomaxprocs=1,
+// workers=1); each arm's speedup is baseline ns / arm ns.
+type benchArm struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"`
+	Ns         int64   `json:"ns"`
+	Speedup    float64 `json:"speedup"`
+}
+
 // benchRow is one line of BENCH_parallel.json.
 type benchRow struct {
 	Query     string      `json:"query"`
 	Algorithm string      `json:"algorithm"`
 	N         int         `json:"n"`
 	Ps        []int       `json:"ps"`
-	SeqNs     int64       `json:"seq_ns"`
-	ParNs     int64       `json:"par_ns"`
-	Speedup   float64     `json:"speedup"`
 	Emitted   int64       `json:"emitted"`
 	Loads     map[int]int `json:"loads"`
+	Arms      []benchArm  `json:"arms"`
 }
 
 type benchFile struct {
-	NumCPU     int        `json:"numcpu"`
-	GOMAXPROCS int        `json:"gomaxprocs"`
-	Workers    int        `json:"workers"`
-	Rows       []benchRow `json:"rows"`
+	NumCPU int        `json:"numcpu"`
+	Rows   []benchRow `json:"rows"`
 }
 
-// TestBenchParallelJSON times the Table 1 N=4000 sweep under both
-// engines and writes BENCH_parallel.json. It is a test rather than a
-// benchmark so it can assert result equality before reporting a
-// speedup. Run with: go test -run TestBenchParallelJSON -benchjson
+// benchArmSet is the (GOMAXPROCS, workers) matrix the JSON sweep
+// times: the sequential baseline, the single-CPU parallel-engine arm
+// (which must not regress past noise — the morsel queue and kernels
+// fall back or run inline there), and true multi-core arms. The
+// GOMAXPROCS values are set by the sweep itself, so multi-core arms
+// are measured even when the test was launched with GOMAXPROCS=1 —
+// but real parallel speedup only appears when NumCPU provides the
+// cores (the committed file records numcpu for exactly that reason).
+func benchArmSet() [][2]int {
+	arms := [][2]int{{1, 1}, {1, 4}, {4, 4}}
+	if n := runtime.NumCPU(); n > 4 {
+		arms = append(arms, [2]int{n, n})
+	}
+	return arms
+}
+
+// TestBenchParallelJSON times the Table 1 N=4000 sweep across the
+// (GOMAXPROCS, workers) arm matrix and writes BENCH_parallel.json. It
+// is a test rather than a benchmark so it can assert result equality
+// across every arm before reporting a speedup — the speedup must
+// never come from computing something else. Run with:
+// go test -run TestBenchParallelJSON -benchjson
 func TestBenchParallelJSON(t *testing.T) {
 	if !*benchJSON {
 		t.Skip("pass -benchjson to time the sweep and write BENCH_parallel.json")
 	}
 	const n = 4000
-	parWorkers := runtime.NumCPU()
-	if parWorkers < 2 {
-		// Single-CPU machine: still exercise the parallel engine so the
-		// equality assertions hold, but the recorded speedup will honestly
-		// hover around 1.0 (or below, from goroutine overhead).
-		parWorkers = 4
-	}
 	ps := []int{4, 16, 64}
 
 	type job struct {
@@ -143,52 +161,63 @@ func TestBenchParallelJSON(t *testing.T) {
 		{"triangle/matching", coverpack.AlgHyperCube, coverpack.Matching(hypergraph.TriangleJoin(), n)},
 	}
 
-	out := benchFile{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: parWorkers}
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+
+	out := benchFile{NumCPU: runtime.NumCPU()}
 	for _, j := range jobs {
-		seqStart := time.Now()
-		seqProf, _, err := coverpack.LoadScalingOpts(j.alg, j.in, ps, coverpack.ExecOptions{Workers: 1})
-		if err != nil {
-			t.Fatalf("%s/%s sequential: %v", j.query, j.alg, err)
+		row := benchRow{Query: j.query, Algorithm: j.alg.String(), N: n, Ps: ps}
+		// Warm plan caches, pools and page-ins once so the baseline arm
+		// (which runs first) is not charged the cold-start cost.
+		if _, _, err := coverpack.LoadScalingOpts(j.alg, j.in, ps, coverpack.ExecOptions{Workers: 1}); err != nil {
+			t.Fatalf("%s/%s warmup: %v", j.query, j.alg, err)
 		}
-		seqNs := time.Since(seqStart).Nanoseconds()
-
-		parStart := time.Now()
-		parProf, _, err := coverpack.LoadScalingOpts(j.alg, j.in, ps, coverpack.ExecOptions{Workers: parWorkers})
-		if err != nil {
-			t.Fatalf("%s/%s parallel: %v", j.query, j.alg, err)
+		var refProf em.LoadProfile
+		for ai, arm := range benchArmSet() {
+			procs, workers := arm[0], arm[1]
+			runtime.GOMAXPROCS(procs)
+			var prof em.LoadProfile
+			var ns int64
+			for rep := 0; rep < 3; rep++ { // best-of-3 against scheduler noise
+				start := time.Now()
+				p, _, err := coverpack.LoadScalingOpts(j.alg, j.in, ps, coverpack.ExecOptions{Workers: workers})
+				if err != nil {
+					t.Fatalf("%s/%s gomaxprocs=%d workers=%d: %v", j.query, j.alg, procs, workers, err)
+				}
+				if d := time.Since(start).Nanoseconds(); rep == 0 || d < ns {
+					ns, prof = d, p
+				}
+			}
+			rep, err := coverpack.ExecuteOpts(j.alg, j.in, 16, coverpack.ExecOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ai == 0 {
+				refProf = prof
+				row.Emitted = rep.Emitted
+				row.Loads = prof.Points
+			} else {
+				// The speedup only counts if the measured experiment is
+				// unchanged in every observable.
+				if !reflect.DeepEqual(prof, refProf) {
+					t.Fatalf("%s/%s gomaxprocs=%d workers=%d: load profile changed:\n  ref %+v\n  arm %+v",
+						j.query, j.alg, procs, workers, refProf, prof)
+				}
+				if rep.Emitted != row.Emitted {
+					t.Fatalf("%s/%s gomaxprocs=%d workers=%d: emitted %d, baseline %d",
+						j.query, j.alg, procs, workers, rep.Emitted, row.Emitted)
+				}
+			}
+			a := benchArm{GOMAXPROCS: procs, Workers: workers, Ns: ns, Speedup: 1}
+			if ai > 0 {
+				a.Speedup = float64(row.Arms[0].Ns) / float64(ns)
+			}
+			row.Arms = append(row.Arms, a)
+			t.Logf("%-28s %-22s gomaxprocs=%d workers=%d %8.2fms speedup=%.2fx",
+				j.query, j.alg, procs, workers, float64(ns)/1e6, a.Speedup)
 		}
-		parNs := time.Since(parStart).Nanoseconds()
-
-		// The speedup only counts if the measured experiment is unchanged.
-		if !reflect.DeepEqual(seqProf, parProf) {
-			t.Fatalf("%s/%s: load profile changed under parallel engine:\n  seq %+v\n  par %+v",
-				j.query, j.alg, seqProf, parProf)
-		}
-		seqRep, err := coverpack.ExecuteOpts(j.alg, j.in, 16, coverpack.ExecOptions{Workers: 1})
-		if err != nil {
-			t.Fatal(err)
-		}
-		parRep, err := coverpack.ExecuteOpts(j.alg, j.in, 16, coverpack.ExecOptions{Workers: parWorkers})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if seqRep.Emitted != parRep.Emitted {
-			t.Fatalf("%s/%s: emitted %d sequential vs %d parallel", j.query, j.alg, seqRep.Emitted, parRep.Emitted)
-		}
-
-		out.Rows = append(out.Rows, benchRow{
-			Query:     j.query,
-			Algorithm: j.alg.String(),
-			N:         n,
-			Ps:        ps,
-			SeqNs:     seqNs,
-			ParNs:     parNs,
-			Speedup:   float64(seqNs) / float64(parNs),
-			Emitted:   seqRep.Emitted,
-			Loads:     seqProf.Points,
-		})
-		t.Logf("%-28s %-22s seq=%8.2fms par=%8.2fms speedup=%.2fx",
-			j.query, j.alg, float64(seqNs)/1e6, float64(parNs)/1e6, float64(seqNs)/float64(parNs))
+		runtime.GOMAXPROCS(prevProcs)
+		out.Rows = append(out.Rows, row)
 	}
 
 	data, err := json.MarshalIndent(out, "", "  ")
@@ -198,5 +227,5 @@ func TestBenchParallelJSON(t *testing.T) {
 	if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote BENCH_parallel.json (numcpu=%d, workers=%d)", out.NumCPU, out.Workers)
+	t.Logf("wrote BENCH_parallel.json (numcpu=%d, %d arms/row)", out.NumCPU, len(benchArmSet()))
 }
