@@ -9,11 +9,14 @@ import (
 )
 
 // TestAnalyzeMemoized pins the Analyze memoization contract: the first
-// analysis of a hypergraph is a miss, every repeat is a hit, and hits
-// return private copies — mutating a returned Analysis never corrupts
-// the cache.
+// analysis of a shape is a miss, every repeat — same pointer, same
+// text, or an isomorphic renaming — is a hit returning the one shared
+// immutable *Analysis, and mutation goes through Clone.
 func TestAnalyzeMemoized(t *testing.T) {
+	coverpack.ResetPlanCompileCache()
 	coverpack.ResetAnalyzeCache()
+	defer coverpack.ResetPlanCompileCache()
+	defer coverpack.ResetAnalyzeCache()
 	q := hypergraph.Line3Join()
 
 	first, err := coverpack.Analyze(q)
@@ -24,13 +27,15 @@ func TestAnalyzeMemoized(t *testing.T) {
 		t.Fatalf("after first analyze: hits=%d misses=%d, want 0/1", hits, misses)
 	}
 
+	// Repeats of the same *Query are pointer-L1 hits returning the
+	// shared entry itself.
 	for i := 0; i < 3; i++ {
 		again, err := coverpack.Analyze(q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if again.Rho.Cmp(first.Rho) != 0 || again.Tau.Cmp(first.Tau) != 0 || again.Psi.Cmp(first.Psi) != 0 {
-			t.Fatalf("memoized analysis differs: %+v vs %+v", again, first)
+		if again != first {
+			t.Fatalf("repeat analyze returned a different *Analysis (%p vs %p)", again, first)
 		}
 	}
 	if hits, misses := coverpack.AnalyzeCacheStats(); hits != 3 || misses != 1 {
@@ -38,34 +43,116 @@ func TestAnalyzeMemoized(t *testing.T) {
 	}
 
 	// A structurally identical query parsed separately hits the same
-	// entry (the key is the hypergraph's identity, not the pointer).
+	// shape entry (the key is the hypergraph's identity, not the
+	// pointer) and shares the same Analysis.
 	dup := hypergraph.MustParse(q.Name(), q.String())
-	if _, err := coverpack.Analyze(dup); err != nil {
+	a, err := coverpack.Analyze(dup)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if a != first {
+		t.Fatal("separately parsed identical query got a different *Analysis")
 	}
 	if hits, _ := coverpack.AnalyzeCacheStats(); hits != 4 {
 		t.Fatalf("separately parsed identical query missed the cache (hits=%d)", hits)
 	}
 
-	// A different query is its own miss.
+	// An isomorphic renaming — different relation and attribute names,
+	// same shape — shares the entry through the canonical key, and the
+	// shape cache records the cross-fingerprint hit.
+	iso := hypergraph.MustParse("line3-renamed", "S1(X,Y) S2(Y,Z) S3(Z,W)")
+	b, err := coverpack.Analyze(iso)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != first {
+		t.Fatal("isomorphic renamed query got a different *Analysis")
+	}
+	if ps := coverpack.PlanCompileCacheStats(); ps.IsoHits == 0 {
+		t.Fatalf("isomorphic hit not recorded: %+v", ps)
+	}
+
+	// A different shape is its own miss.
 	if _, err := coverpack.Analyze(hypergraph.TriangleJoin()); err != nil {
 		t.Fatal(err)
 	}
-	if hits, misses := coverpack.AnalyzeCacheStats(); hits != 4 || misses != 2 {
-		t.Fatalf("after second query: hits=%d misses=%d, want 4/2", hits, misses)
+	if _, misses := coverpack.AnalyzeCacheStats(); misses != 2 {
+		t.Fatalf("after second query: misses=%d, want 2", misses)
 	}
 
-	// Returned analyses are private copies: clobber one and re-fetch.
-	first.Rho.SetInt64(-7)
+	// The shared Analysis is immutable by contract; Clone returns a
+	// deep private copy, so mutating it never corrupts the cache.
+	mine := first.Clone()
+	mine.Rho.SetInt64(-7)
 	clean, err := coverpack.Analyze(q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if clean.Rho.Cmp(big.NewRat(-7, 1)) == 0 {
-		t.Fatal("mutating a returned Analysis corrupted the cache")
+	if clean != first {
+		t.Fatal("re-fetch after Clone returned a different *Analysis")
 	}
+	if clean.Rho.Cmp(big.NewRat(-7, 1)) == 0 {
+		t.Fatal("mutating a Clone corrupted the cache")
+	}
+
 	coverpack.ResetAnalyzeCache()
 	if hits, misses := coverpack.AnalyzeCacheStats(); hits != 0 || misses != 0 {
 		t.Fatalf("reset left counters at %d/%d", hits, misses)
+	}
+}
+
+// TestAnalyzeLegacyMemoWhenDisabled pins the kill-switch fallback: with
+// the compile cache off, Analyze still memoizes exact repeats through
+// the legacy fingerprint memo, but isomorphic renamings are separate
+// computations (the pre-cache behavior).
+func TestAnalyzeLegacyMemoWhenDisabled(t *testing.T) {
+	coverpack.SetPlanCompileCache(false)
+	defer coverpack.SetPlanCompileCache(true)
+	defer coverpack.ResetPlanCompileCache()
+	coverpack.ResetAnalyzeCache()
+	defer coverpack.ResetAnalyzeCache()
+
+	q := hypergraph.Line3Join()
+	first, err := coverpack.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := hypergraph.MustParse(q.Name(), q.String())
+	a, err := coverpack.Analyze(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != first {
+		t.Fatal("exact repeat missed the legacy memo")
+	}
+	if hits, misses := coverpack.AnalyzeCacheStats(); hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	iso := hypergraph.MustParse("line3-renamed", "S1(X,Y) S2(Y,Z) S3(Z,W)")
+	if _, err := coverpack.Analyze(iso); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := coverpack.AnalyzeCacheStats(); misses != 2 {
+		t.Fatalf("disabled cache shared across isomorphic queries (misses=%d, want 2)", misses)
+	}
+}
+
+// TestAnalyzeHitZeroAlloc pins the repeat-Analyze fast path at zero
+// allocations: a pointer-keyed L1 lookup returning the shared entry.
+func TestAnalyzeHitZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	q := hypergraph.Line3Join()
+	if _, err := coverpack.Analyze(q); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := coverpack.Analyze(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Analyze cache hit allocates %.1f times, want 0", allocs)
 	}
 }

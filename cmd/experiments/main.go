@@ -32,6 +32,7 @@ func main() {
 	memBudget := flag.Int64("membudget", 0, "admission budget in total tuples resident across in-flight cells (0 = default, negative = unlimited)")
 	spillDir := flag.String("spill-dir", "", "arm every simulator cell with an out-of-core form spilling arena segments under this directory; the memory gate places cells spilled instead of delaying them (tables are byte-identical either way)")
 	spillBudget := flag.Int64("mem-budget", 0, "resident-byte budget of one spilled run (0 = 64 MiB default); requires -spill-dir")
+	planCache := flag.Bool("plan-cache", true, "reuse compiled plans (canonical shape cache + LP memo) across sweep cells; tables are byte-identical either way")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (e.g. 127.0.0.1:9190; \":0\" picks a free port)")
@@ -60,7 +61,12 @@ func main() {
 			nw, np, product, runtime.NumCPU())
 	}
 	cfg := experiments.Config{Small: *small, Workers: nw, RunWorkers: np, MemBudget: *memBudget,
-		SpillDir: *spillDir, SpillBudget: *spillBudget}
+		SpillDir: *spillDir, SpillBudget: *spillBudget, NoPlanCompile: !*planCache}
+	if !*planCache {
+		// Disable process-wide too, so concurrent sweep cells never race
+		// the per-run forced switch.
+		coverpack.SetPlanCompileCache(false)
+	}
 
 	if *debugAddr != "" {
 		srv, err := coverpack.StartDebugServer(*debugAddr)
@@ -136,6 +142,15 @@ func main() {
 		sc := coverpack.SpillStats()
 		fmt.Fprintf(os.Stderr, "experiments: spill parks=%d pageins=%d segments=%d written=%dB read=%dB held=%dB\n",
 			sc.Parks, sc.PageIns, sc.SegmentsWritten, sc.BytesWritten, sc.BytesRead, sc.HeldBytes)
+	}
+
+	// Compile-cache reuse is diagnostics too: stderr, so stdout stays
+	// byte-identical with the cache on or off.
+	if *planCache {
+		pc := coverpack.PlanCompileCacheStats()
+		lm := coverpack.LPMemoCacheStats()
+		fmt.Fprintf(os.Stderr, "experiments: plan-cache shapes=%d hits=%d misses=%d iso=%d equiv-hits=%d lp-hits=%d simplex-runs=%d\n",
+			pc.Entries, pc.Hits, pc.Misses, pc.IsoHits, pc.EquivHits, lm.Hits, lm.SimplexRuns)
 	}
 
 	if *traceFile != "" {

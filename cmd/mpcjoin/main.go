@@ -36,11 +36,16 @@ func main() {
 		spillDir  = flag.String("spill-dir", "", "run out-of-core: park exchange-output arenas to segment files under this directory when resident bytes exceed -mem-budget (results are byte-identical either way)")
 		memBudget = flag.Int64("mem-budget", 0, "resident-byte budget before arenas spill (0 = 64 MiB default); requires -spill-dir")
 		parallel  = flag.Int("parallel", 1, "repeat the run this many times concurrently through the run-level scheduler and require identical reports (determinism stress mode)")
+		planCache = flag.Bool("plan-cache", true, "reuse compiled plans (canonical shape cache + LP memo) across runs; results are byte-identical either way")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (e.g. 127.0.0.1:9190; \":0\" picks a free port)")
 	)
 	flag.Parse()
+
+	if !*planCache {
+		coverpack.SetPlanCompileCache(false)
+	}
 
 	if *debugAddr != "" {
 		srv, err := coverpack.StartDebugServer(*debugAddr)
@@ -176,6 +181,12 @@ func main() {
 		sc := coverpack.SpillStats()
 		fmt.Printf("spill       parks=%d pageins=%d segments=%d written=%dB read=%dB\n",
 			sc.Parks, sc.PageIns, sc.SegmentsWritten, sc.BytesWritten, sc.BytesRead)
+	}
+	if *planCache {
+		pc := coverpack.PlanCompileCacheStats()
+		lm := coverpack.LPMemoCacheStats()
+		fmt.Printf("plan-cache  shapes=%d hits=%d misses=%d iso=%d lp-hits=%d simplex-runs=%d\n",
+			pc.Entries, pc.Hits, pc.Misses, pc.IsoHits, lm.Hits, lm.SimplexRuns)
 	}
 }
 

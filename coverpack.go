@@ -39,6 +39,7 @@ import (
 	"coverpack/internal/hypergraph"
 	"coverpack/internal/lowerbound"
 	"coverpack/internal/mpc"
+	"coverpack/internal/plan"
 	"coverpack/internal/relation"
 	"coverpack/internal/workload"
 	"coverpack/internal/yannakakis"
@@ -88,17 +89,39 @@ type Analysis struct {
 
 // Analysis memoization: ρ*/τ*/ψ* are LP solves over exact rationals, so
 // re-analyzing the same hypergraph (every Table 1 row, every sweep cell)
-// repeats identical simplex runs. The cache is keyed by the query's name
-// plus its textual form — the hypergraph's identity — and stores a
-// private copy; lookups clone the big.Rat fields so callers can never
-// mutate a cached entry. Counters are diagnostics only.
+// repeats identical simplex runs. Three layers, fastest first:
+//
+//   - An L1 keyed by the *Query pointer itself. Storing a pointer in an
+//     interface key never allocates, so a repeat Analyze of the same
+//     Query value is a zero-allocation lookup returning the shared
+//     entry (analyze_cache_test pins this).
+//   - The process-wide compiled-plan shape cache (internal/plan),
+//     keyed on the hypergraph's canonical form: isomorphic queries —
+//     renamed catalog entries, per-run residual subqueries — share one
+//     Analysis, since every field is invariant under relabeling.
+//   - A legacy fingerprint memo (name + textual form) that keeps exact
+//     repeats cheap when the compile cache is disabled.
+//
+// All layers store the same shared *Analysis, which is why Analyze's
+// result is immutable: mutate a Clone, never the returned value.
+// Counters are diagnostics only.
 var (
-	analyzeCache  sync.Map // string -> *Analysis (private copy)
-	analyzeHits   atomic.Uint64
-	analyzeMisses atomic.Uint64
+	analyzeByQuery sync.Map // *Query -> *Analysis (shared)
+	analyzeL1Count atomic.Int64
+	analyzeLegacy  sync.Map // fingerprint string -> *Analysis (shared)
+	analyzeLegacyN atomic.Int64
+	analyzeHits    atomic.Uint64
+	analyzeMisses  atomic.Uint64
 )
 
-func (a *Analysis) clone() *Analysis {
+// maxAnalyzeEntries bounds each Analyze memo layer; on overflow the
+// layer is cleared wholesale (the same discipline as mpc's plan cache).
+const maxAnalyzeEntries = 8192
+
+// Clone returns a deep copy of the analysis that the caller may mutate
+// freely. The *Analysis returned by Analyze is shared across callers
+// and must be treated as immutable.
+func (a *Analysis) Clone() *Analysis {
 	b := *a
 	b.Rho = new(big.Rat).Set(a.Rho)
 	b.Tau = new(big.Rat).Set(a.Tau)
@@ -112,31 +135,78 @@ func AnalyzeCacheStats() (hits, misses uint64) {
 }
 
 // ResetAnalyzeCache drops every memoized analysis and zeroes the
-// counters (test seam).
+// counters (test seam). It clears only Analyze's own layers; shape
+// entries in the compiled-plan cache survive (use
+// ResetPlanCompileCache to drop those too).
 func ResetAnalyzeCache() {
-	analyzeCache.Range(func(k, _ any) bool {
-		analyzeCache.Delete(k)
-		return true
-	})
+	clearSyncMap(&analyzeByQuery)
+	clearSyncMap(&analyzeLegacy)
+	analyzeL1Count.Store(0)
+	analyzeLegacyN.Store(0)
 	analyzeHits.Store(0)
 	analyzeMisses.Store(0)
 }
 
+func clearSyncMap(m *sync.Map) {
+	m.Range(func(k, _ any) bool {
+		m.Delete(k)
+		return true
+	})
+}
+
 // Analyze computes the query's classification and fractional numbers.
-// Results are memoized per hypergraph (see AnalyzeCacheStats); the
-// returned Analysis is always a private copy the caller may mutate.
+// Results are memoized per hypergraph and shared across isomorphic
+// queries (see AnalyzeCacheStats, PlanCompileCacheStats); the returned
+// Analysis is shared and immutable — use Clone before mutating.
 func Analyze(q *Query) (*Analysis, error) {
-	key := q.Name() + "|" + q.String()
-	if v, ok := analyzeCache.Load(key); ok {
+	if v, ok := analyzeByQuery.Load(q); ok {
 		analyzeHits.Add(1)
-		return v.(*Analysis).clone(), nil
+		return v.(*Analysis), nil
+	}
+	a, err := analyzeShared(q)
+	if err != nil {
+		return nil, err
+	}
+	if analyzeL1Count.Add(1) > maxAnalyzeEntries {
+		clearSyncMap(&analyzeByQuery)
+		analyzeL1Count.Store(1)
+	}
+	analyzeByQuery.Store(q, a)
+	return a, nil
+}
+
+// analyzeShared resolves the shared Analysis for q through the shape
+// cache (isomorphic sharing) or, when that is disabled or the query is
+// too large to canonicalize, the legacy fingerprint memo.
+func analyzeShared(q *Query) (*Analysis, error) {
+	if h, ok := plan.For(q); ok {
+		if v, hit := h.Invariant("analysis"); hit {
+			analyzeHits.Add(1)
+			return v.(*Analysis), nil
+		}
+		a, err := analyze(q)
+		if err != nil {
+			return nil, err
+		}
+		analyzeMisses.Add(1)
+		h.SetInvariant("analysis", a)
+		return a, nil
+	}
+	fp := q.Name() + "|" + q.String()
+	if v, ok := analyzeLegacy.Load(fp); ok {
+		analyzeHits.Add(1)
+		return v.(*Analysis), nil
 	}
 	a, err := analyze(q)
 	if err != nil {
 		return nil, err
 	}
 	analyzeMisses.Add(1)
-	analyzeCache.Store(key, a.clone())
+	if analyzeLegacyN.Add(1) > maxAnalyzeEntries {
+		clearSyncMap(&analyzeLegacy)
+		analyzeLegacyN.Store(1)
+	}
+	analyzeLegacy.Store(fp, a)
 	return a, nil
 }
 
@@ -354,6 +424,15 @@ type ExecOptions struct {
 	// Results are byte-identical in every mode and at every worker
 	// count; only wall-clock behavior differs.
 	ParKernels ParKernelMode
+	// PlanCompile selects the compiled-plan shape cache for the run:
+	// PlanCompileDefault (the zero value) follows the process-wide
+	// switch (on by default), PlanCompileOn/PlanCompileOff force it.
+	// The switch shares Streaming's process-global semantics (forced
+	// settings are restored after the run; concurrent forced runs must
+	// serialize). Results are byte-identical in every mode — the cache
+	// reuses compilation artifacts whose remapped form equals direct
+	// computation (see internal/plan); only wall-clock time differs.
+	PlanCompile PlanCompileMode
 }
 
 // Execute runs one algorithm on a fresh p-server cluster and returns
@@ -380,6 +459,11 @@ func ExecuteOpts(alg Algorithm, in *Instance, p int, eo ExecOptions) (*Report, e
 		relation.SetParKernels(eo.ParKernels == ParKernelOn)
 		defer relation.SetParKernels(prev)
 	}
+	if eo.PlanCompile != PlanCompileDefault {
+		prev := PlanCompileEnabled()
+		SetPlanCompileCache(eo.PlanCompile == PlanCompileOn)
+		defer SetPlanCompileCache(prev)
+	}
 	var opts []mpc.Option
 	if eo.Recorder != nil {
 		opts = append(opts, mpc.WithRecorder(eo.Recorder))
@@ -389,6 +473,20 @@ func ExecuteOpts(alg Algorithm, in *Instance, p int, eo ExecOptions) (*Report, e
 	}
 	if eo.NoPlanCache {
 		opts = append(opts, mpc.WithPlanCache(false))
+	}
+	// Shape-level seeding of the simulator's exchange-plan cache:
+	// exchange plans key on data content versions, so only a capacity
+	// hint (the entry count a previous run of this shape needed) is
+	// sound to carry across runs.
+	var shape plan.Handle
+	var shapeOK bool
+	if !eo.NoPlanCache {
+		if h, ok := plan.For(in.Query); ok {
+			shape, shapeOK = h, true
+			if v, hit := h.Invariant("mpc_plan_entries"); hit {
+				opts = append(opts, mpc.WithPlanCacheHint(v.(int)))
+			}
+		}
 	}
 	opts = append(opts, spillOptions(eo, os.TempDir)...)
 	c := mpc.NewCluster(p, opts...)
@@ -417,7 +515,7 @@ func ExecuteOpts(alg Algorithm, in *Instance, p int, eo ExecOptions) (*Report, e
 		}
 		rep.Emitted = res.Emitted
 	case AlgSkewAware:
-		psiRat, err := fractional.Psi(in.Query)
+		psiRat, err := cachedPsi(in.Query)
 		if err != nil {
 			return nil, err
 		}
@@ -449,10 +547,38 @@ func ExecuteOpts(alg Algorithm, in *Instance, p int, eo ExecOptions) (*Report, e
 		return nil, fmt.Errorf("coverpack: unknown algorithm %v", alg)
 	}
 	rep.Stats = c.Stats()
+	ps := c.PlanCacheStats()
 	if eo.PlanStats != nil {
-		*eo.PlanStats = c.PlanCacheStats()
+		*eo.PlanStats = ps
+	}
+	if shapeOK {
+		n := int(ps.Misses)
+		if v, hit := shape.Invariant("mpc_plan_entries"); !hit || n > v.(int) {
+			shape.SetInvariant("mpc_plan_entries", n)
+		}
 	}
 	return rep, nil
+}
+
+// cachedPsi is fractional.Psi through the shape cache: ψ* is invariant
+// under relabeling, and its 2^|V| residual enumeration is the single
+// most expensive analysis step, so repeated skew-aware runs of one
+// shape (or an isomorphic one) compute it once. The shared *big.Rat is
+// read-only by contract.
+func cachedPsi(q *Query) (*big.Rat, error) {
+	h, ok := plan.For(q)
+	if !ok {
+		return fractional.Psi(q)
+	}
+	if v, hit := h.Invariant("psi"); hit {
+		return v.(*big.Rat), nil
+	}
+	psi, err := fractional.Psi(q)
+	if err != nil {
+		return nil, err
+	}
+	h.SetInvariant("psi", psi)
+	return psi, nil
 }
 
 // TraceRun re-executes an acyclic-algorithm run with decision tracing

@@ -116,6 +116,47 @@ func TestParseSpillBenchJSON(t *testing.T) {
 	}
 }
 
+// The compile-shaped BENCH_plancompile.json (per-op cold/warm/iso-warm
+// timings) must come out under the names the live
+// BenchmarkPlanCompile sub-benchmarks normalize to.
+func TestParseCompileBenchJSON(t *testing.T) {
+	fixture := []byte(`{
+		"numcpu": 1,
+		"gomaxprocs": 1,
+		"compiles": [
+			{
+				"shape": "star-3",
+				"cold_ns": 500000,
+				"warm_ns": 400,
+				"iso_warm_ns": 30000,
+				"speedup": 1250,
+				"plan_cache": {"Hits": 9, "Misses": 1},
+				"lp_memo": {"Hits": 3, "SimplexRuns": 3}
+			}
+		]
+	}`)
+	es, err := ParseBenchJSON("fixture", fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 3 {
+		t.Fatalf("got %d entries, want 3: %+v", len(es), es)
+	}
+	want := []Entry{
+		{Name: "plancompile/star3/mode=cold", NsPerOp: 500000},
+		{Name: "plancompile/star3/mode=warm", NsPerOp: 400},
+		{Name: "plancompile/star3/mode=isowarm", NsPerOp: 30000},
+	}
+	for i, w := range want {
+		if es[i].Name != w.Name || es[i].NsPerOp != w.NsPerOp {
+			t.Errorf("entry %d = %+v, want %+v", i, es[i], w)
+		}
+	}
+	if live := Normalize("BenchmarkPlanCompile/star-3/mode=isowarm-4"); live != es[2].Name {
+		t.Errorf("live benchmark normalizes to %q, JSON entry is %q", live, es[2].Name)
+	}
+}
+
 // The arms-shaped BENCH_parallel.json (per-GOMAXPROCS timings) must
 // decode one entry per arm, and the legacy seq_ns/par_ns shape must
 // keep working alongside it.

@@ -20,11 +20,14 @@ import (
 //	         → stream<pipeline>/mode=streaming|materialized
 //	spill    {"spills": [{pipeline, spilled: {ns_per_op}, resident: {ns_per_op}}]}
 //	         → spill<pipeline>/mode=spilled|resident
+//	compile  {"compiles": [{shape, cold_ns, warm_ns, iso_warm_ns}]}
+//	         → plancompile/<shape>/mode=cold|warm|isowarm
 //
-// The memory, sweep, stream, and spill forms line up with live
+// The memory, sweep, stream, spill, and compile forms line up with live
 // benchmark names (BenchmarkMemDedupe, BenchmarkSweepTable1/runworkers=4,
 // BenchmarkStreamYannakakisLine3/mode=streaming,
-// BenchmarkSpillTriangleHeavyhub/mode=spilled) after Normalize; the
+// BenchmarkSpillTriangleHeavyhub/mode=spilled,
+// BenchmarkPlanCompile/line3/mode=warm) after Normalize; the
 // others compare only against their own kind.
 
 type memoryFile struct {
@@ -75,6 +78,15 @@ type spillFile struct {
 	} `json:"spills"`
 }
 
+type compilesFile struct {
+	Compiles []struct {
+		Shape     string  `json:"shape"`
+		ColdNs    float64 `json:"cold_ns"`
+		WarmNs    float64 `json:"warm_ns"`
+		IsoWarmNs float64 `json:"iso_warm_ns"`
+	} `json:"compiles"`
+}
+
 type streamFile struct {
 	Streams []struct {
 		Pipeline  string `json:"pipeline"`
@@ -91,10 +103,11 @@ type streamFile struct {
 // sniffing which of the known schemas it carries.
 func ParseBenchJSON(source string, data []byte) ([]Entry, error) {
 	var probe struct {
-		Rows    json.RawMessage `json:"rows"`
-		Arms    json.RawMessage `json:"arms"`
-		Streams json.RawMessage `json:"streams"`
-		Spills  json.RawMessage `json:"spills"`
+		Rows     json.RawMessage `json:"rows"`
+		Arms     json.RawMessage `json:"arms"`
+		Streams  json.RawMessage `json:"streams"`
+		Spills   json.RawMessage `json:"spills"`
+		Compiles json.RawMessage `json:"compiles"`
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
 		return nil, fmt.Errorf("benchdiff: %s: %w", source, err)
@@ -107,6 +120,17 @@ func ParseBenchJSON(source string, data []byte) ([]Entry, error) {
 	}
 	var out []Entry
 	switch {
+	case len(probe.Compiles) > 0:
+		var f compilesFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, fmt.Errorf("benchdiff: %s: %w", source, err)
+		}
+		for _, c := range f.Compiles {
+			base := "plancompile/" + c.Shape + "/mode="
+			out = add(out, base+"cold", c.ColdNs)
+			out = add(out, base+"warm", c.WarmNs)
+			out = add(out, base+"isowarm", c.IsoWarmNs)
+		}
 	case len(probe.Spills) > 0:
 		var f spillFile
 		if err := json.Unmarshal(data, &f); err != nil {
@@ -179,7 +203,7 @@ func ParseBenchJSON(source string, data []byte) ([]Entry, error) {
 			}
 		}
 	default:
-		return nil, fmt.Errorf("benchdiff: %s: unrecognized schema (no rows, arms, streams, or spills)", source)
+		return nil, fmt.Errorf("benchdiff: %s: unrecognized schema (no rows, arms, streams, spills, or compiles)", source)
 	}
 	return out, nil
 }

@@ -471,7 +471,7 @@ func (ex *executor) residualCover(alive hypergraph.EdgeSet, vars map[int]hypergr
 	if qc.NumEdges() == 0 {
 		return hypergraph.EdgeSet{}
 	}
-	cover, err := IntegralCover(qc)
+	cover, err := coverFor(qc)
 	if err != nil {
 		return hypergraph.EdgeSet{}
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"coverpack/internal/hypergraph"
+	"coverpack/internal/plan"
 	"coverpack/internal/relation"
 )
 
@@ -56,7 +57,7 @@ func chooseConservative(tree *hypergraph.JoinTree, origOf []int, vars map[int]hy
 // lower edge index then lower attribute id for determinism.
 func choosePathOptimal(tree *hypergraph.JoinTree, origOf []int, vars map[int]hypergraph.VarSet) choice {
 	qc := tree.Query
-	cover, err := IntegralCover(qc)
+	cover, err := coverFor(qc)
 	if err != nil {
 		// The subquery is acyclic by construction; fall back to the
 		// conservative choice if the cover computation ever fails.
@@ -141,7 +142,7 @@ func residualAcyclic(qc *hypergraph.Query, tree *hypergraph.JoinTree, origOf []i
 //	L = max_{S ⊆ C ∪ singletons} ( Π_{e∈S} |R(e)| / p )^{1/|S|}.
 func ChooseL(in *relation.Instance, p int, strat Strategy) int {
 	q := in.Query
-	tree, ok := hypergraph.GYO(q)
+	tree, ok := plan.GYO(q)
 	if !ok {
 		return 0
 	}
@@ -164,7 +165,7 @@ func ChooseL(in *relation.Instance, p int, strat Strategy) int {
 			consider(float64(SubjoinSize(in, tree, s)), s.Len())
 		}
 	case PathOptimal:
-		cover, err := IntegralCover(q)
+		cover, err := coverFor(q)
 		if err != nil {
 			return 0
 		}

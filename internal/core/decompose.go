@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"coverpack/internal/hypergraph"
+	"coverpack/internal/plan"
 )
 
 // PathChoice records one (x, S^x) decision of the path-optimal run: the
@@ -24,7 +25,7 @@ type PathChoice struct {
 // the linear cover of Definition 4.7 (Figure 5) — so this is the
 // decomposition the cost formula of Theorem 3 charges.
 func Decomposition(q *hypergraph.Query) ([]PathChoice, error) {
-	if !q.IsAcyclic() {
+	if !plan.Acyclic(q) {
 		return nil, fmt.Errorf("core: %s is not acyclic", q.Name())
 	}
 	alive := q.AllEdges()
@@ -77,7 +78,7 @@ func Decomposition(q *hypergraph.Query) ([]PathChoice, error) {
 			}
 			return out, nil
 		}
-		tree, ok := hypergraph.GYO(qc)
+		tree, ok := plan.GYO(qc)
 		if !ok {
 			return nil, fmt.Errorf("core: decomposition subquery cyclic (bug)")
 		}

@@ -6,6 +6,7 @@ import (
 
 	"coverpack/internal/hypergraph"
 	"coverpack/internal/mpc"
+	"coverpack/internal/plan"
 	"coverpack/internal/primitives"
 	"coverpack/internal/relation"
 )
@@ -71,7 +72,7 @@ const (
 // Run executes the generic acyclic join algorithm on the group.
 func Run(g *mpc.Group, in *relation.Instance, opts Options) (*Result, error) {
 	q := in.Query
-	if !q.IsAcyclic() {
+	if !plan.Acyclic(q) {
 		return nil, fmt.Errorf("core: %s is not acyclic", q.Name())
 	}
 	if err := in.Validate(); err != nil {
@@ -228,7 +229,7 @@ func (ex *executor) compute(g *mpc.Group, alive hypergraph.EdgeSet, vars map[int
 
 	// Build the current subquery and its join tree.
 	qc, origOf := ex.subquery(alive, vars)
-	tree, ok := hypergraph.GYO(qc)
+	tree, ok := plan.GYO(qc)
 	if !ok {
 		return 0, fmt.Errorf("core: subquery became cyclic (bug): %s", qc)
 	}

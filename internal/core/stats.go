@@ -5,6 +5,7 @@ import (
 
 	"coverpack/internal/hypergraph"
 	"coverpack/internal/mpc"
+	"coverpack/internal/plan"
 	"coverpack/internal/primitives"
 	"coverpack/internal/relation"
 )
@@ -355,14 +356,14 @@ func (ex *executor) allocate(g *mpc.Group, edges hypergraph.EdgeSet, vars map[in
 		qc.AddEdgeVars(ex.q.Edge(e).Name, vars[e])
 		origOf = append(origOf, e)
 	}
-	tree, ok := hypergraph.GYO(qc)
+	tree, ok := plan.GYO(qc)
 	if !ok {
 		return g.Size()
 	}
 	L := float64(ex.L)
 	switch ex.strat {
 	case PathOptimal:
-		cover, err := IntegralCover(qc)
+		cover, err := coverFor(qc)
 		if err != nil {
 			return g.Size()
 		}

@@ -1,0 +1,156 @@
+package lp
+
+import (
+	"math/big"
+	"strings"
+	"sync"
+)
+
+// Exact-match solve memoization.
+//
+// The LPs this package sees are tiny but repeated relentlessly: every
+// Analyze of the same (or an isomorphic) query rebuilds the identical
+// cover/packing programs, and ψ*'s residual enumeration solves the
+// same packing LP for every duplicate residual. Solve is deterministic
+// (Bland's rule), so a byte-exact serialization of the problem —
+// direction, objective, constraint matrix, senses, right-hand sides —
+// is a sound memo key: equal keys imply equal problems imply equal
+// solutions, bit for bit. Hits return a deep copy, so callers may
+// mutate results freely (the pre-memo contract).
+//
+// The memo is a pure wall-clock lever with a kill switch (SetMemo,
+// toggled together with the rest of the compile cache by
+// coverpack.SetPlanCompileCache); simplexRuns counts actual simplex
+// executions so tests can prove a warm path solved nothing.
+
+// maxMemoEntries bounds the retained solutions; on overflow the whole
+// memo is cleared (deterministic and simple, mirroring mpc's plan
+// cache discipline).
+const maxMemoEntries = 2048
+
+// MemoStats snapshots the solve-memo counters.
+type MemoStats struct {
+	Hits, Misses uint64
+	// SimplexRuns counts actual two-phase simplex executions (misses
+	// plus every solve while the memo is disabled).
+	SimplexRuns uint64
+	Entries     int
+}
+
+var (
+	memoMu      sync.Mutex
+	memoOn      = true
+	memo        = make(map[string]*Solution)
+	memoHits    uint64
+	memoMisses  uint64
+	simplexRuns uint64
+)
+
+// SetMemo toggles solve memoization process-wide (on by default).
+func SetMemo(on bool) {
+	memoMu.Lock()
+	memoOn = on
+	memoMu.Unlock()
+}
+
+// MemoEnabled reports whether solve memoization is active.
+func MemoEnabled() bool {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	return memoOn
+}
+
+// ResetMemo drops every memoized solution and zeroes the counters.
+func ResetMemo() {
+	memoMu.Lock()
+	memo = make(map[string]*Solution)
+	memoHits, memoMisses, simplexRuns = 0, 0, 0
+	memoMu.Unlock()
+}
+
+// Memo snapshots the counters.
+func Memo() MemoStats {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	return MemoStats{Hits: memoHits, Misses: memoMisses,
+		SimplexRuns: simplexRuns, Entries: len(memo)}
+}
+
+// memoKey serializes the problem exactly. RatString is canonical
+// (big.Rat normalizes), so equal keys imply equal problems.
+func memoKey(p *Problem) string {
+	var b strings.Builder
+	b.Grow(16 * (len(p.Objective) + len(p.Constraints)*(p.NumVars+2)))
+	if p.Maximize {
+		b.WriteString("max;")
+	} else {
+		b.WriteString("min;")
+	}
+	for _, c := range p.Objective {
+		b.WriteString(c.RatString())
+		b.WriteByte(',')
+	}
+	for _, row := range p.Constraints {
+		b.WriteByte(';')
+		for _, c := range row.Coeffs {
+			b.WriteString(c.RatString())
+			b.WriteByte(',')
+		}
+		b.WriteString(row.Sense.String())
+		b.WriteString(row.RHS.RatString())
+	}
+	return b.String()
+}
+
+// clone deep-copies a solution (nil-safe on the optional fields).
+func (s *Solution) clone() *Solution {
+	out := &Solution{Status: s.Status}
+	if s.Value != nil {
+		out.Value = new(big.Rat).Set(s.Value)
+	}
+	if s.X != nil {
+		out.X = cloneRats(s.X)
+	}
+	if s.Dual != nil {
+		out.Dual = cloneRats(s.Dual)
+	}
+	return out
+}
+
+// Solve solves the problem exactly and returns the solution. It never
+// mutates the problem, and identical problems yield identical
+// solutions (the simplex is deterministic); repeated identical
+// problems are served from the solve memo when it is enabled.
+func Solve(p *Problem) (*Solution, error) {
+	memoMu.Lock()
+	on := memoOn
+	memoMu.Unlock()
+	if !on {
+		memoMu.Lock()
+		simplexRuns++
+		memoMu.Unlock()
+		return solve(p)
+	}
+	key := memoKey(p)
+	memoMu.Lock()
+	if sol, ok := memo[key]; ok {
+		memoHits++
+		out := sol.clone()
+		memoMu.Unlock()
+		return out, nil
+	}
+	memoMisses++
+	simplexRuns++
+	memoMu.Unlock()
+	sol, err := solve(p)
+	if err != nil {
+		return nil, err
+	}
+	memoMu.Lock()
+	if len(memo) >= maxMemoEntries {
+		memo = make(map[string]*Solution)
+	}
+	memo[key] = sol.clone()
+	memoMu.Unlock()
+	return sol, nil
+}

@@ -43,10 +43,11 @@ func (t *tableau) ratCmp(x, y *big.Rat) int {
 	return t.sCmpA.Cmp(t.sCmpB)
 }
 
-// Solve solves the problem exactly and returns the solution. It never
-// mutates the problem. Solve is deterministic: Bland's rule breaks all
-// ties by lowest column index, so identical inputs yield identical bases.
-func Solve(p *Problem) (*Solution, error) {
+// solve runs the two-phase simplex exactly (see Solve in memo.go for
+// the memoized public entry point). It never mutates the problem and
+// is deterministic: Bland's rule breaks all ties by lowest column
+// index, so identical inputs yield identical bases.
+func solve(p *Problem) (*Solution, error) {
 	if p.NumVars <= 0 {
 		return nil, fmt.Errorf("lp: problem has %d variables", p.NumVars)
 	}

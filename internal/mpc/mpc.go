@@ -188,6 +188,19 @@ func WithPlanCache(enabled bool) Option {
 	}
 }
 
+// WithPlanCacheHint pre-sizes the exchange-plan cache's entry map for n
+// plans (typically the entry count a previous run of the same query
+// shape needed). Purely a capacity hint — plans key on data content
+// versions, so no plan content crosses clusters; a no-op when the
+// cache is disabled or n is not positive.
+func WithPlanCacheHint(n int) Option {
+	return func(c *Cluster) {
+		if c.plans != nil && n > 0 {
+			c.plans.entries = make(map[string]*exchangePlan, n)
+		}
+	}
+}
+
 // NewCluster creates a cluster with the given server budget and a root
 // group of exactly that size.
 func NewCluster(p int, opts ...Option) *Cluster {

@@ -1,0 +1,26 @@
+package plan
+
+import "coverpack/internal/metrics"
+
+// Compile-cache telemetry, registered on the default registry.
+// Observation-only: the counters mirror the Stats snapshot the cache
+// already maintains, so metrics on/off cannot change what a lookup
+// returns (the root no-perturbation oracle pins that contract).
+var (
+	mHits = metrics.Default.NewCounter("coverpack_plancompile_events_total",
+		"Compiled-plan shape cache outcomes across the process.",
+		metrics.Label{Key: "event", Value: "hit"})
+	mMisses = metrics.Default.NewCounter("coverpack_plancompile_events_total",
+		"", metrics.Label{Key: "event", Value: "miss"})
+	mIsoHits = metrics.Default.NewCounter("coverpack_plancompile_events_total",
+		"", metrics.Label{Key: "event", Value: "iso_hit"})
+	mEquivHits = metrics.Default.NewCounter("coverpack_plancompile_events_total",
+		"", metrics.Label{Key: "event", Value: "equiv_hit"})
+	mEquivMisses = metrics.Default.NewCounter("coverpack_plancompile_events_total",
+		"", metrics.Label{Key: "event", Value: "equiv_miss"})
+	mEvictions = metrics.Default.NewCounter("coverpack_plancompile_events_total",
+		"", metrics.Label{Key: "event", Value: "eviction"})
+
+	mEntries = metrics.Default.NewGauge("coverpack_plancompile_entries",
+		"Canonical query shapes currently retained by the compile cache.")
+)

@@ -1,0 +1,234 @@
+// Compile-cache benchmarks: the same canonical query shape compiled
+// cold (empty caches: classification, LP solves, join-tree search all
+// run), warm (repeat compile of the same query: everything served from
+// the shape cache) and iso-warm (a freshly parsed, differently named
+// isomorphic spelling: canonicalization runs, everything downstream is
+// an isomorphic hit). `go test -bench PlanCompile` times the three;
+// `go test -run TestBenchPlanCompileJSON -benchjson` asserts the ≥5×
+// warm bar with counters proving the skips, and writes
+// BENCH_plancompile.json.
+package coverpack_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"coverpack"
+	"coverpack/internal/hypergraph"
+)
+
+// compileShapes are the benchmark shapes: acyclic ones (line3, star-3)
+// exercise the join-tree path, cyclic ones (triangle, square) the
+// LP-heavy fractional-cover path.
+func compileShapes() []*hypergraph.Query {
+	return []*hypergraph.Query{
+		hypergraph.Line3Join(),
+		hypergraph.TriangleJoin(),
+		hypergraph.SquareJoin(),
+		hypergraph.StarJoin(3),
+	}
+}
+
+// isoSpelling re-renders q with fresh relation and attribute names (in
+// the same structural order) under the given query name and re-parses
+// it: an isomorphic query the caches have never seen as a fingerprint.
+func isoSpelling(q *hypergraph.Query, name string) *hypergraph.Query {
+	parts := make([]string, 0, q.NumEdges())
+	for e := 0; e < q.NumEdges(); e++ {
+		attrs := q.EdgeVars(e).Attrs()
+		names := make([]string, len(attrs))
+		for i, a := range attrs {
+			names[i] = fmt.Sprintf("Z%d", a)
+		}
+		parts = append(parts, fmt.Sprintf("E%d(%s)", e, strings.Join(names, ",")))
+	}
+	return hypergraph.MustParse(name, strings.Join(parts, " "))
+}
+
+func resetCompileCaches() {
+	coverpack.ResetPlanCompileCache()
+	coverpack.ResetAnalyzeCache()
+}
+
+func mustCompile(tb testing.TB, q *hypergraph.Query) *coverpack.CompiledPlan {
+	tb.Helper()
+	cp, err := coverpack.CompileQuery(q)
+	if err != nil {
+		tb.Fatalf("CompileQuery(%s): %v", q.Name(), err)
+	}
+	return cp
+}
+
+func BenchmarkPlanCompile(b *testing.B) {
+	defer resetCompileCaches()
+	for _, q := range compileShapes() {
+		q := q
+		b.Run(q.Name()+"/mode=cold", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				resetCompileCaches()
+				mustCompile(b, q)
+			}
+		})
+		b.Run(q.Name()+"/mode=warm", func(b *testing.B) {
+			resetCompileCaches()
+			mustCompile(b, q)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustCompile(b, q)
+			}
+		})
+		b.Run(q.Name()+"/mode=isowarm", func(b *testing.B) {
+			resetCompileCaches()
+			mustCompile(b, q)
+			b.ResetTimer()
+			// Every iteration parses a never-seen spelling, so the
+			// fingerprint fast path misses and full canonicalization runs;
+			// only the compile artifacts themselves are served as iso hits.
+			for i := 0; i < b.N; i++ {
+				mustCompile(b, isoSpelling(q, fmt.Sprintf("%s-iso-%d", q.Name(), i)))
+			}
+		})
+	}
+}
+
+// compileRow is one shape's line in BENCH_plancompile.json. The ns
+// fields are per-compile (ns/op), directly comparable with the live
+// BenchmarkPlanCompile sub-benchmarks.
+type compileRow struct {
+	Shape     string                     `json:"shape"`
+	ColdNs    int64                      `json:"cold_ns"`
+	WarmNs    int64                      `json:"warm_ns"`
+	IsoWarmNs int64                      `json:"iso_warm_ns"`
+	Speedup   float64                    `json:"speedup"`
+	Plan      coverpack.PlanCompileStats `json:"plan_cache"`
+	LP        coverpack.LPMemoStats      `json:"lp_memo"`
+}
+
+type compileFile struct {
+	NumCPU     int          `json:"numcpu"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Compiles   []compileRow `json:"compiles"`
+}
+
+// TestBenchPlanCompileJSON times cold vs warm vs iso-warm compiles per
+// shape and writes BENCH_plancompile.json. It is a test rather than a
+// benchmark so it can assert, before reporting any speedup, that (a)
+// the cached plan equals the cache-off plan and (b) the hit counters
+// prove classification, LP solves and join-tree search were actually
+// skipped in the warm window. Run with:
+//
+//	go test -run TestBenchPlanCompileJSON -benchjson
+func TestBenchPlanCompileJSON(t *testing.T) {
+	if !*benchJSON {
+		t.Skip("pass -benchjson to time the compile paths and write BENCH_plancompile.json")
+	}
+	defer resetCompileCaches()
+	out := compileFile{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	const (
+		coldIters = 60
+		warmIters = 20000
+		isoIters  = 3000
+	)
+	for _, q := range compileShapes() {
+		// Correctness gate: the cache-off plan is the reference.
+		coverpack.SetPlanCompileCache(false)
+		resetCompileCaches()
+		ref := mustCompile(t, q)
+		coverpack.SetPlanCompileCache(true)
+		resetCompileCaches()
+		cold := mustCompile(t, q)
+		warm := mustCompile(t, q)
+		for _, arm := range []struct {
+			name string
+			cp   *coverpack.CompiledPlan
+		}{{"cold", cold}, {"warm", warm}} {
+			if arm.cp.Key != ref.Key || arm.cp.Acyclic != ref.Acyclic || arm.cp.Algorithm != ref.Algorithm {
+				t.Fatalf("%s: %s cached plan {key=%s acyclic=%v alg=%s} differs from cache-off {key=%s acyclic=%v alg=%s}",
+					q.Name(), arm.name, arm.cp.Key, arm.cp.Acyclic, arm.cp.Algorithm,
+					ref.Key, ref.Acyclic, ref.Algorithm)
+			}
+		}
+		if warm.Analysis != cold.Analysis {
+			t.Fatalf("%s: warm compile did not share the analysis", q.Name())
+		}
+
+		// Skip gate: across a warm window, no new shape-cache misses and
+		// no new simplex executions — classification, LP solves and
+		// join-tree search all served from cache.
+		planBefore, lpBefore := coverpack.PlanCompileCacheStats(), coverpack.LPMemoCacheStats()
+		for i := 0; i < 100; i++ {
+			mustCompile(t, q)
+		}
+		iso := isoSpelling(q, q.Name()+"-iso-gate")
+		mustCompile(t, iso)
+		planAfter, lpAfter := coverpack.PlanCompileCacheStats(), coverpack.LPMemoCacheStats()
+		if planAfter.Misses != planBefore.Misses {
+			t.Fatalf("%s: warm window added shape-cache misses (%d -> %d)",
+				q.Name(), planBefore.Misses, planAfter.Misses)
+		}
+		if lpAfter.SimplexRuns != lpBefore.SimplexRuns {
+			t.Fatalf("%s: warm window ran the simplex (%d -> %d executions)",
+				q.Name(), lpBefore.SimplexRuns, lpAfter.SimplexRuns)
+		}
+		if planAfter.IsoHits <= planBefore.IsoHits {
+			t.Fatalf("%s: isomorphic spelling recorded no iso hits (%d -> %d)",
+				q.Name(), planBefore.IsoHits, planAfter.IsoHits)
+		}
+
+		// Timing. Cold re-empties every cache each iteration; warm repeats
+		// the same query; iso-warm compiles a never-seen isomorphic
+		// spelling each iteration (parse + canonicalization + iso hit).
+		var coldNs int64
+		for i := 0; i < coldIters; i++ {
+			resetCompileCaches()
+			start := time.Now()
+			mustCompile(t, q)
+			coldNs += time.Since(start).Nanoseconds()
+		}
+		resetCompileCaches()
+		mustCompile(t, q)
+		start := time.Now()
+		for i := 0; i < warmIters; i++ {
+			mustCompile(t, q)
+		}
+		warmNs := time.Since(start).Nanoseconds()
+		start = time.Now()
+		for i := 0; i < isoIters; i++ {
+			mustCompile(t, isoSpelling(q, fmt.Sprintf("%s-iso-%d", q.Name(), i)))
+		}
+		isoNs := time.Since(start).Nanoseconds()
+
+		coldPerOp := coldNs / coldIters
+		warmPerOp := warmNs / warmIters
+		isoPerOp := isoNs / isoIters
+		speedup := float64(coldPerOp) / float64(warmPerOp)
+		if speedup < 5 {
+			t.Fatalf("%s: warm compile speedup %.1fx, want >= 5x (cold=%dns warm=%dns)",
+				q.Name(), speedup, coldPerOp, warmPerOp)
+		}
+		out.Compiles = append(out.Compiles, compileRow{
+			Shape:  q.Name(),
+			ColdNs: coldPerOp, WarmNs: warmPerOp, IsoWarmNs: isoPerOp,
+			Speedup: speedup,
+			Plan:    coverpack.PlanCompileCacheStats(),
+			LP:      coverpack.LPMemoCacheStats(),
+		})
+		t.Logf("%-10s cold=%8dns warm=%6dns isowarm=%7dns speedup=%.0fx",
+			q.Name(), coldPerOp, warmPerOp, isoPerOp, speedup)
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_plancompile.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_plancompile.json (%d shapes)", len(out.Compiles))
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package coverpack_test
+
+// raceEnabled reports whether the race detector is compiled in;
+// allocation-count assertions skip under it.
+const raceEnabled = false
